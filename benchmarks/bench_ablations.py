@@ -1,0 +1,177 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each test flips one optimization off (or swaps a heuristic for its
+classical alternative) and verifies the direction and rough magnitude
+of the effect on the machine models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from _harness import bench_scale, run_once
+
+from repro.analysis import format_table
+from repro.core import OptimizationLevel, SpmvEngine
+from repro.core.optimizer import optimization_config
+from repro.formats.convert import to_cache_blocked, uniform_block_specs
+from repro.machines import PlacementPolicy, get_machine
+from repro.matrices import generate
+from repro.parallel import partition_rows_balanced, partition_rows_equal
+from repro.simulator.executor import simulate_spmv
+
+L = OptimizationLevel
+SCALE_DEFAULT = 0.3  # ablations run at reduced scale by default
+
+
+def abl_scale() -> float:
+    s = bench_scale()
+    return SCALE_DEFAULT if s == 1.0 else s
+
+
+def test_ablation_sparse_vs_dense_cache_blocking(benchmark):
+    """The paper's sparse (line-budget) blocking vs classical fixed
+    1K x 1K dense blocking, on the cache-blocking-sensitive LP matrix."""
+    scale = abl_scale()
+    m = get_machine("AMD X2")
+    eng = SpmvEngine(m)
+
+    def compute():
+        coo = generate("LP", scale=scale, seed=0)
+        sparse_plan = eng.plan(coo, level=L.PF_RB_CB)
+        sparse = eng.simulate(sparse_plan)
+        # Classical blocking: materialize a fixed-grid cache-blocked
+        # matrix and simulate it directly.
+        dense_blocked = to_cache_blocked(
+            coo, uniform_block_specs(coo.shape, 1024, 1024)
+        )
+        dense = simulate_spmv(m, dense_blocked, n_threads=1)
+        unblocked = eng.simulate(eng.plan(coo, level=L.PF_RB))
+        return sparse.gflops, dense.gflops, unblocked.gflops
+
+    sparse, dense, unblocked = run_once(benchmark, compute)
+    print(f"\nLP cache blocking: sparse={sparse:.3f} dense1K={dense:.3f} "
+          f"none={unblocked:.3f} Gflop/s")
+    assert sparse > unblocked          # CB pays off on LP
+    assert sparse >= dense * 0.9       # line-budget >= fixed grid
+
+
+def test_ablation_index_compression(benchmark):
+    scale = abl_scale()
+    eng = SpmvEngine(get_machine("AMD X2"))
+
+    def compute():
+        coo = generate("FEM-Cant", scale=scale, seed=0)
+        full_cfg = optimization_config(eng.machine, L.FULL)
+        on = eng.plan(coo, config=full_cfg)
+        off = eng.plan(coo, config=replace(full_cfg,
+                                           index_compress=False))
+        return (on.footprint_bytes, eng.simulate(on).gflops,
+                off.footprint_bytes, eng.simulate(off).gflops)
+
+    fp_on, gf_on, fp_off, gf_off = run_once(benchmark, compute)
+    print(f"\n16-bit indices: footprint {fp_on/1e6:.2f}MB vs "
+          f"{fp_off/1e6:.2f}MB, {gf_on:.3f} vs {gf_off:.3f} Gflop/s")
+    assert fp_on < fp_off
+    assert gf_on >= gf_off * 0.999
+
+
+def test_ablation_bcoo(benchmark):
+    """BCOO vs forced CSR on webbase (many empty rows per cache block)."""
+    scale = abl_scale()
+    eng = SpmvEngine(get_machine("AMD X2"))
+
+    def compute():
+        coo = generate("Webbase", scale=scale, seed=0)
+        cfg = optimization_config(eng.machine, L.FULL)
+        with_bcoo = eng.plan(coo, config=cfg)
+        without = eng.plan(coo, config=replace(cfg, allow_bcoo=False))
+        return (with_bcoo.footprint_bytes, without.footprint_bytes,
+                with_bcoo.describe()["block_formats"])
+
+    fp_with, fp_without, census = run_once(benchmark, compute)
+    print(f"\nwebbase: BCOO on={fp_with/1e6:.2f}MB off="
+          f"{fp_without/1e6:.2f}MB formats={census}")
+    assert fp_with < fp_without
+    assert any(k.startswith("bcoo") for k in census)
+
+
+def test_ablation_numa_placement(benchmark):
+    """NUMA-aware vs interleave vs single-node on the AMD full system."""
+    scale = abl_scale()
+    eng = SpmvEngine(get_machine("AMD X2"))
+
+    def compute():
+        coo = generate("Tunnel", scale=scale, seed=0)
+        cfg = optimization_config(eng.machine, L.FULL, parallel=True)
+        out = {}
+        for pol in PlacementPolicy:
+            plan = eng.plan(coo, n_threads=4,
+                            config=replace(cfg, policy=pol))
+            out[pol.value] = eng.simulate(plan).gflops
+        return out
+
+    res = run_once(benchmark, compute)
+    print("\nAMD X2 NUMA placement: " + ", ".join(
+        f"{k}={v:.3f}" for k, v in res.items()))
+    assert res["numa_aware"] > res["interleave"]
+    assert res["interleave"] >= res["single_node"]
+    assert res["numa_aware"] > 1.4 * res["single_node"]
+
+
+def test_ablation_tlb_blocking(benchmark):
+    """TLB blocking on the TLB-starved Opteron (wide scattered spans)."""
+    scale = abl_scale()
+    eng = SpmvEngine(get_machine("AMD X2"))
+
+    def compute():
+        coo = generate("FEM-Accel", scale=scale, seed=0)
+        cfg = optimization_config(eng.machine, L.FULL)
+        on = eng.simulate(eng.plan(coo, config=cfg))
+        off = eng.simulate(
+            eng.plan(coo, config=replace(cfg, tlb_blocking=False))
+        )
+        return on.gflops, off.gflops
+
+    on, off = run_once(benchmark, compute)
+    print(f"\nFEM-Accel TLB blocking: on={on:.3f} off={off:.3f} Gflop/s")
+    assert on >= off * 0.98
+
+
+def test_ablation_prefetch_distance(benchmark):
+    """§4.1's prefetch-distance sweep (0 to 512 doubles) on the AMD
+    bandwidth model: ramp, optimum, mild pollution decay."""
+    from repro.simulator.memory import per_core_demand_bw
+
+    m = get_machine("AMD X2")
+
+    def compute():
+        return [(d, per_core_demand_bw(
+            m, prefetch_distance_doubles=d) / 1e9)
+            for d in (0, 8, 16, 32, 64, 128, 256, 512)]
+
+    sweep = run_once(benchmark, compute)
+    print("\nAMD X2 prefetch distance sweep (GB/s/core): " + ", ".join(
+        f"{d}:{bw:.2f}" for d, bw in sweep))
+    bws = [bw for _, bw in sweep]
+    best_idx = bws.index(max(bws))
+    assert 0 < best_idx < len(bws) - 1      # interior optimum
+    assert bws[0] < 0.75 * max(bws)         # no prefetch clearly worse
+    assert bws[-1] > 0.8 * max(bws)         # deep distance mild decay
+
+
+def test_ablation_partition_balance(benchmark):
+    """nnz-balanced vs PETSc's equal-rows partition on the skewed LP."""
+    scale = abl_scale()
+
+    def compute():
+        coo = generate("LP", scale=scale, seed=0)
+        bal = partition_rows_balanced(coo, 4)
+        eq = partition_rows_equal(coo, 4)
+        return bal.imbalance, eq.imbalance
+
+    bal, eq = run_once(benchmark, compute)
+    print(f"\nLP 4-way partition imbalance: nnz-balanced={bal:.2f} "
+          f"equal-rows={eq:.2f}")
+    assert bal < eq
+    assert bal < 1.5

@@ -1,0 +1,86 @@
+"""Bandwidth-reduction extensions the paper's conclusions call for.
+
+§7: "memory bandwidth may become a significant bottleneck as core count
+increases, and software designers should consider bandwidth reduction
+as a key algorithmic optimization (e.g., symmetry, advanced register
+blocking, Ak methods)". This bench quantifies two of those levers on
+our implementation: symmetric half storage and multiple-vector SpMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import run_once
+
+from repro.analysis import format_table
+from repro.formats import coo_to_csr, spmm, spmm_intensity_gain
+from repro.formats.symmetric import SymmetricCSRMatrix
+from repro.machines import get_machine
+from repro.matrices import generate
+from repro.simulator.executor import simulate_spmv
+
+SCALE = 0.2
+
+
+def symmetrize(coo):
+    from repro.formats import COOMatrix
+
+    at = coo.transpose()
+    return COOMatrix(
+        coo.shape,
+        np.concatenate([coo.row, at.row]),
+        np.concatenate([coo.col, at.col]),
+        np.concatenate([coo.val / 2, at.val / 2]),
+    )
+
+
+def test_symmetry_halves_traffic(benchmark):
+    def compute():
+        coo = symmetrize(generate("FEM-Cant", scale=SCALE, seed=0))
+        full = coo_to_csr(coo)
+        half = SymmetricCSRMatrix.from_coo(coo)
+        m = get_machine("AMD X2")
+        res_full = simulate_spmv(m, full, n_threads=1)
+        res_half = simulate_spmv(m, half, n_threads=1)
+        # Numerical check rides along.
+        x = np.random.default_rng(0).standard_normal(coo.ncols)
+        np.testing.assert_allclose(half.spmv(x), full.spmv(x),
+                                   rtol=1e-9, atol=1e-9)
+        return full.footprint_bytes(), half.footprint_bytes(), \
+            res_full.gflops, res_half.gflops
+
+    fp_full, fp_half, gf_full, gf_half = run_once(benchmark, compute)
+    print(f"\nsymmetry: footprint {fp_full / 1e6:.1f} → "
+          f"{fp_half / 1e6:.1f} MB, {gf_full:.3f} → {gf_half:.3f} "
+          f"Gflop/s (simulated AMD X2, 1 core)")
+    assert fp_half < 0.62 * fp_full
+    assert gf_half > 1.25 * gf_full
+
+
+def test_multivector_intensity(benchmark):
+    def compute():
+        coo = generate("FEM-Har", scale=SCALE, seed=0)
+        csr = coo_to_csr(coo)
+        rows = []
+        for k in (1, 2, 4, 8, 16):
+            rows.append([k, spmm_intensity_gain(csr, k)])
+        # Correctness of the fused kernel.
+        x = np.random.default_rng(1).standard_normal((coo.ncols, 4))
+        got = spmm(csr, x)
+        expected = np.column_stack(
+            [csr.spmv(x[:, j]) for j in range(4)]
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-10)
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print()
+    print(format_table(
+        ["k vectors", "intensity gain vs k SpMVs"], rows,
+        title="multiple-vector SpMM (FEM-Har)",
+    ))
+    gains = [r[1] for r in rows]
+    assert gains[0] == 1.0
+    assert all(b >= a for a, b in zip(gains, gains[1:]))
+    assert gains[-1] > 1.5  # 16 vectors amortize most vector traffic

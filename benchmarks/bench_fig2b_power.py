@@ -1,0 +1,53 @@
+"""Figure 2b — power efficiency (full-system Mflop/s per Watt)."""
+
+from __future__ import annotations
+
+from _harness import bench_scale, best_system, figure1_data, run_once
+
+from repro.analysis import format_table, median, power_efficiency
+from repro.analysis.report import format_bar_chart
+from repro.machines import get_machine, machine_names
+
+
+def compute(scale):
+    out = {}
+    for name in machine_names():
+        data = figure1_data(name, scale)
+        med = median(best_system(name, b) for b in data.values())
+        out[name] = (med, power_efficiency(get_machine(name), med))
+    return out
+
+
+def test_fig2b(benchmark):
+    scale = bench_scale()
+    eff = run_once(benchmark, lambda: compute(scale))
+    rows = [
+        [name, gf, get_machine(name).watts_system, mpw]
+        for name, (gf, mpw) in eff.items()
+    ]
+    print()
+    print(format_table(
+        ["machine", "median GF/s", "system W", "Mflop/s/W"], rows,
+        title=f"Figure 2b: power efficiency (scale={scale})",
+    ))
+    print(format_bar_chart(
+        [r[0] for r in rows], [r[3] for r in rows],
+        unit=" Mflop/s/W",
+    ))
+    if scale == 1.0:
+        mpw = {name: v[1] for name, v in eff.items()}
+        # "the Cell blade leads in power efficiency, while the PS3
+        # attains near comparable performance" —
+        assert mpw["Cell Blade"] >= max(
+            mpw["AMD X2"], mpw["Clovertown"], mpw["Niagara"]
+        )
+        assert mpw["Cell (PS3)"] > 0.6 * mpw["Cell Blade"]
+        # approximate advantages: 2.1x / 3.5x / 5.2x over AMD /
+        # Clovertown / Niagara (wide tolerance: these compound every
+        # model term).
+        assert 1.3 < mpw["Cell Blade"] / mpw["AMD X2"] < 3.5
+        assert 2.0 < mpw["Cell Blade"] / mpw["Clovertown"] < 6.0
+        assert 2.5 < mpw["Cell Blade"] / mpw["Niagara"] < 9.0
+        # "Niagara's power efficiency is the lowest of our evaluated
+        # architectures" (its chip is frugal but the system is not).
+        assert mpw["Niagara"] == min(mpw.values())

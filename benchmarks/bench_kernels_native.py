@@ -1,0 +1,72 @@
+"""Native wall-clock kernel benchmarks (real time, this host).
+
+Unlike the table/figure benches (which regenerate the paper's simulated
+results), these measure the library's actual NumPy kernels with
+pytest-benchmark: format comparison, the generated unrolled kernels vs
+generic einsum, index widths, and the segmented scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import IndexWidth, coo_to_csr, to_bcoo, to_bcsr
+from repro.kernels.generator import spmv_generated
+from repro.matrices import generate
+from repro.parallel.scan import segmented_scan_spmv
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def fem():
+    coo = generate("FEM-Cant", scale=SCALE, seed=0)
+    x = np.random.default_rng(0).standard_normal(coo.ncols)
+    return coo, x
+
+
+def test_native_csr(benchmark, fem):
+    coo, x = fem
+    csr = coo_to_csr(coo)
+    y = benchmark(csr.spmv, x)
+    assert np.isfinite(y).all()
+
+
+def test_native_csr16(benchmark, fem):
+    coo, x = fem
+    csr = coo_to_csr(coo, index_width=IndexWidth.I16)
+    benchmark(csr.spmv, x)
+
+
+def test_native_bcsr_2x2(benchmark, fem):
+    coo, x = fem
+    b = to_bcsr(coo, 2, 2)
+    benchmark(b.spmv, x)
+
+
+def test_native_bcsr_2x2_generated(benchmark, fem):
+    coo, x = fem
+    b = to_bcsr(coo, 2, 2)
+    benchmark(spmv_generated, b, x)
+
+
+def test_native_bcoo_2x2(benchmark, fem):
+    coo, x = fem
+    b = to_bcoo(coo, 2, 2)
+    benchmark(b.spmv, x)
+
+
+def test_native_segmented_scan(benchmark, fem):
+    coo, x = fem
+    csr = coo_to_csr(coo)
+    benchmark(segmented_scan_spmv, csr, x, n_parts=4)
+
+
+def test_native_results_agree(fem):
+    coo, x = fem
+    expected = coo_to_csr(coo).spmv(x)
+    b = to_bcsr(coo, 2, 2)
+    np.testing.assert_allclose(b.spmv(x), expected, rtol=1e-10)
+    np.testing.assert_allclose(spmv_generated(b, x), expected,
+                               rtol=1e-10)

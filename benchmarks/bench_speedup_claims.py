@@ -1,0 +1,104 @@
+"""Numbered speedup claims from §6 and §7, checked one by one.
+
+Each claim is printed with the paper's value and the reproduction's, so
+EXPERIMENTS.md can quote this bench's output directly.
+"""
+
+from __future__ import annotations
+
+from _harness import bench_scale, best_system, figure1_data, run_once
+
+from repro.analysis import format_table, median
+from repro.baselines.petsc import best_petsc
+from repro.core import SpmvEngine
+from repro.machines import get_machine
+from repro.matrices import generate, suite_names
+
+
+def compute(scale):
+    claims = []
+
+    def claim(cid, text, paper, ours):
+        claims.append([cid, text, paper, ours])
+
+    amd = figure1_data("AMD X2", scale)
+    med = lambda col, data: median(b[col] for b in data.values())
+
+    claim("6.2-serial", "AMD serial opt vs naive", 1.4,
+          med("1 Core[PF,RB,CB]", amd) / med("1 Core - Naive", amd))
+    claim("6.2-oski", "AMD serial opt vs OSKI", 1.2,
+          med("1 Core[PF,RB,CB]", amd) / med("OSKI", amd))
+    claim("6.2-2core", "AMD 2-core vs 1-core opt", 1.7,
+          med("2 Core[*]", amd) / med("1 Core[PF,RB,CB]", amd))
+    claim("6.2-full", "AMD full system vs 1-core opt", 3.3,
+          med("Dual Socket x 2 Core[*]", amd)
+          / med("1 Core[PF,RB,CB]", amd))
+    claim("6.2-petsc", "AMD full system vs OSKI-PETSc", 3.2,
+          med("Dual Socket x 2 Core[*]", amd) / med("OSKI-PETSc", amd))
+
+    clv = figure1_data("Clovertown", scale)
+    claim("6.3-serial", "Clovertown serial opt vs naive", 1.1,
+          med("1 Core[PF,RB,CB]", clv) / med("1 Core - Naive", clv))
+    claim("6.3-2core", "Clovertown 2-core vs serial opt", 1.6,
+          med("2 Core[*]", clv) / med("1 Core[PF,RB,CB]", clv))
+    claim("6.3-full", "Clovertown full system vs serial opt", 2.3,
+          med("2 Socket x 4 Core[*]", clv)
+          / med("1 Core[PF,RB,CB]", clv))
+    claim("6.3-oski", "Clovertown serial vs OSKI", 1.4,
+          med("1 Core[PF,RB,CB]", clv) / med("OSKI", clv))
+    claim("6.3-petsc", "Clovertown parallel vs OSKI-PETSc", 2.0,
+          med("2 Socket x 4 Core[*]", clv) / med("OSKI-PETSc", clv))
+
+    nia = figure1_data("Niagara", scale)
+    opt = med("1 Core[PF,RB,CB]", nia)
+    claim("6.4-8t", "Niagara 8 threads vs serial opt", 7.6,
+          med("8 Cores x 1 Thread[*]", nia) / opt)
+    claim("6.4-16t", "Niagara 16 threads vs serial opt", 13.8,
+          med("8 Cores x 2 Threads[*]", nia) / opt)
+    claim("6.4-32t", "Niagara 32 threads vs serial opt", 21.2,
+          med("8 Cores x 4 Threads[*]", nia) / opt)
+
+    ps3 = figure1_data("Cell (PS3)", scale)
+    blade = figure1_data("Cell Blade", scale)
+    spe1 = med("1 SPE(PS3)", ps3)
+    claim("6.5-6spe", "Cell 6 SPEs vs 1 SPE", 5.7,
+          med("6 SPEs(PS3)", ps3) / spe1)
+    claim("6.5-8spe", "Cell 8 SPEs vs 1 SPE", 7.4,
+          med("8 SPEs", blade) / spe1)
+    claim("6.5-16spe", "Cell 16 SPEs vs 1 SPE", 9.9,
+          med("Dual Socket x 8 SPEs", blade) / spe1)
+
+    claim("6.6-vs-clv", "Blade socket vs Clovertown socket", 3.4,
+          med("8 SPEs", blade) / med("4 Core[*]", clv))
+    claim("6.6-vs-amd", "Blade socket vs AMD socket", 3.6,
+          med("8 SPEs", blade) / med("2 Core[*]", amd))
+    # Figure 2a's Niagara "socket" bar is 8 cores x 1 thread (threads
+    # join only in the full-system bar) — that is what makes 12.8x.
+    claim("6.6-vs-nia", "Blade socket vs Niagara socket", 12.8,
+          med("8 SPEs", blade) / med("8 Cores x 1 Thread[*]", nia))
+
+    # §7: pthreads > 2x MPI (median over the suite, AMD).
+    pthread_vs_mpi = med("Dual Socket x 2 Core[*]", amd) / \
+        med("OSKI-PETSc", amd)
+    claim("7-pthread", "Pthreads vs MPI runtimes", 2.0, pthread_vs_mpi)
+    return claims
+
+
+def test_speedup_claims(benchmark):
+    scale = bench_scale()
+    claims = run_once(benchmark, lambda: compute(scale))
+    rows = [[c, t, p, o, o / p] for c, t, p, o in claims]
+    print()
+    print(format_table(
+        ["claim", "description", "paper", "ours", "ratio"],
+        rows, title=f"Paper speedup claims vs reproduction "
+                    f"(scale={scale})",
+        float_fmt="{:.2f}",
+    ))
+    if scale == 1.0:
+        for cid, text, paper, ours in claims:
+            # Shape check: every claimed speedup is reproduced in the
+            # same direction and within a factor-2 band of the paper's
+            # magnitude.
+            assert ours > 1.0, (cid, ours)
+            assert 0.5 <= ours / paper <= 2.0, (cid, paper, ours)

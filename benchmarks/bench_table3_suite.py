@@ -1,0 +1,37 @@
+"""Table 3 — the 14-matrix evaluation suite.
+
+Regenerates the suite at the configured scale and prints generated
+dimensions/nonzero structure beside the paper's values. At scale 1.0
+every matrix must land within tight tolerance of Table 3.
+"""
+
+from __future__ import annotations
+
+from _harness import bench_scale, run_once
+
+from repro.analysis import format_table
+from repro.matrices import suite_table
+
+
+def test_table3(benchmark):
+    scale = bench_scale()
+    rows_raw = run_once(benchmark, lambda: suite_table(scale=scale))
+    rows = [
+        [r["name"], r["rows"], r["cols"], r["nnz"],
+         round(r["nnz_per_row"], 1), r["paper_rows"], r["paper_nnz"],
+         r["paper_nnz_per_row"], r["notes"]]
+        for r in rows_raw
+    ]
+    print()
+    print(format_table(
+        ["matrix", "rows", "cols", "nnz", "nnz/row", "paper rows",
+         "paper nnz", "paper nnz/row", "origin"],
+        rows, title=f"Table 3: matrix suite (scale={scale})",
+    ))
+    assert len(rows) == 14
+    if scale == 1.0:
+        for r in rows_raw:
+            assert abs(r["rows"] - r["paper_rows"]) <= \
+                0.06 * r["paper_rows"], r["name"]
+            assert abs(r["nnz"] - r["paper_nnz"]) <= \
+                0.2 * r["paper_nnz"], r["name"]

@@ -1,0 +1,74 @@
+"""Table 4 — sustained bandwidth & compute rate on the dense matrix.
+
+Runs the fully optimized engine on the dense-in-sparse-format probe at
+one core / one socket / full system for every machine and prints
+sustained GB/s and effective Gflop/s beside the paper's measurements.
+"""
+
+from __future__ import annotations
+
+from _harness import bench_scale, plan_point, run_once
+
+from repro.analysis import format_table
+from repro.core import SpmvEngine
+from repro.machines import get_machine
+from repro.matrices import generate
+
+#: Paper Table 4: machine -> {config: (GB/s, Gflop/s)}.
+PAPER = {
+    "Niagara": {"one core": (0.26, 0.065), "socket": (2.06, 0.51),
+                "system": (5.02, 1.24)},
+    "Clovertown": {"one core": (3.62, 0.89), "socket": (6.56, 1.62),
+                   "system": (8.86, 2.18)},
+    "AMD X2": {"one core": (5.40, 1.33), "socket": (6.61, 1.63),
+               "system": (12.55, 3.09)},
+    "Cell (PS3)": {"one core": (3.25, 0.65), "socket": (18.35, 3.67),
+                   "system": (18.35, 3.67)},
+    "Cell Blade": {"one core": (3.25, 0.65), "socket": (23.20, 4.64),
+                   "system": (31.50, 6.30)},
+}
+
+#: Threads for (one core, one socket, full system) per machine.
+CONFIGS = {
+    # Niagara's Table 4 "socket" row is 8 cores x 1 thread (2.06 GB/s =
+    # 8 x 0.26); "system" adds the full 4-way CMT.
+    "Niagara": (1, 8, 32),
+    "Clovertown": (1, 4, 8),
+    "AMD X2": (1, 2, 4),
+    "Cell (PS3)": (1, 6, 6),
+    "Cell Blade": (1, 8, 16),
+}
+
+
+def build_table4(scale: float) -> list[list]:
+    dense = generate("Dense", scale=scale, seed=0)
+    rows = []
+    for name, (t1, ts, tf) in CONFIGS.items():
+        engine = SpmvEngine(get_machine(name))
+        for label, t in [("one core", t1), ("socket", ts),
+                         ("system", tf)]:
+            plan = plan_point(engine, dense, t,
+                              full_system=(label == "system"))
+            res = engine.simulate(plan)
+            gbs_paper, gf_paper = PAPER[name][label]
+            rows.append([name, label, res.sustained_gbs, gbs_paper,
+                         res.gflops, gf_paper])
+    return rows
+
+
+def test_table4(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, lambda: build_table4(scale))
+    print()
+    print(format_table(
+        ["machine", "config", "GB/s", "paper GB/s", "Gflop/s",
+         "paper GF/s"],
+        rows, title=f"Table 4: dense-matrix sustained rates "
+                    f"(scale={scale})",
+    ))
+    if scale == 1.0:
+        # Every modeled sustained bandwidth and compute rate must land
+        # within 25% of the paper's measurement.
+        for name, label, gbs, gbs_p, gf, gf_p in rows:
+            assert abs(gbs - gbs_p) <= 0.25 * gbs_p, (name, label)
+            assert abs(gf - gf_p) <= 0.30 * gf_p, (name, label)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Solve a FEM-style linear system with CG on tuned SpMV.
+
+SpMV is "a frequent bottleneck in scientific computing applications" —
+this example shows the end-to-end story: a symmetric positive-definite
+FEM-like operator, tuned with the paper's heuristics, driving a
+conjugate-gradient solve. The solver sees only the SpMV interface, so
+every data-structure optimization transfers to the application
+unchanged, and the machine model prices the whole solve.
+
+Run: ``python examples/cg_solver.py``
+"""
+
+import numpy as np
+
+from repro import SpmvEngine, generate, get_machine
+from repro.formats import COOMatrix
+from repro.solvers import conjugate_gradient
+
+
+def spd_from_suite(name: str, scale: float, shift: float = 1.0
+                   ) -> COOMatrix:
+    """Make a suite matrix SPD: A_spd = (A + A^T)/2 + shift·diag."""
+    a = generate(name, scale=scale, seed=0)
+    at = a.transpose()
+    n = a.nrows
+    row = np.concatenate([a.row, at.row, np.arange(n)])
+    col = np.concatenate([a.col, at.col, np.arange(n)])
+    # Diagonal shift by the max row sum keeps it diagonally dominant.
+    sym_val = np.concatenate([a.val / 2, at.val / 2])
+    row_sums = np.zeros(n)
+    np.add.at(row_sums, np.concatenate([a.row, at.row]),
+              np.abs(sym_val))
+    diag = np.full(n, shift) + row_sums.max()
+    val = np.concatenate([sym_val, diag])
+    return COOMatrix((n, n), row, col, val)
+
+
+def main() -> None:
+    a = spd_from_suite("FEM-Har", scale=0.15)
+    print(f"SPD system: n={a.nrows}, nnz={a.nnz_logical:,}")
+
+    machine = get_machine("Clovertown")
+    engine = SpmvEngine(machine)
+    tuned = engine.tune(a, n_threads=machine.cores_per_socket)
+    print("tuned plan:", tuned.plan.describe()["block_formats"])
+
+    rng = np.random.default_rng(2)
+    x_true = rng.standard_normal(a.nrows)
+    b = a.spmv(x_true)
+
+    result = conjugate_gradient(tuned, b, tol=1e-10)
+    err = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+    print(f"CG: converged={result.converged} in {result.iterations} "
+          f"iterations, relative error {err:.2e}")
+
+    # Price the whole solve on the 2007 machine model: CG is one SpMV
+    # (plus cheap vector ops) per iteration.
+    sim = tuned.simulate()
+    solve_time = sim.time_s * result.iterations
+    print(f"modeled {machine.name} SpMV: {sim.gflops:.2f} Gflop/s → "
+          f"~{solve_time * 1e3:.1f} ms for the full solve "
+          f"({result.iterations} SpMVs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""PageRank on the webbase connectivity matrix.
+
+webbase-1M is the suite's web-crawl matrix — 3.1 nonzeros per row,
+power-law degrees, terrible locality. Its real workload is PageRank:
+hundreds of SpMVs over the transition matrix. This example runs true
+PageRank with the library's kernels, then asks the machine models how
+2007-era multicore platforms handle exactly this structure (poorly —
+the paper's short-row analysis in §5.1).
+
+Run: ``python examples/pagerank_webbase.py``
+"""
+
+import numpy as np
+
+from repro import SpmvEngine, generate, get_machine
+from repro.analysis import format_table
+from repro.matrices.stats import compute_stats
+from repro.solvers import pagerank
+
+SCALE = 0.05  # 50K-page crawl; raise towards 1.0 for the full 1M pages
+
+
+def main() -> None:
+    links = generate("Webbase", scale=SCALE, seed=0)
+    stats = compute_stats(links)
+    print(f"webbase at scale {SCALE}: {links.nrows:,} pages, "
+          f"{links.nnz_logical:,} links, "
+          f"{stats.nnz_per_row_mean:.1f} links/page "
+          f"(max {stats.nnz_per_row_max})")
+
+    scores, iters = pagerank(links, damping=0.85, tol=1e-10)
+    top = np.argsort(-scores)[:5]
+    print(f"PageRank converged in {iters} iterations")
+    print("top pages:", ", ".join(
+        f"#{p} ({scores[p]:.2e})" for p in top
+    ))
+
+    # How would the 2007 machines fare on this structure?
+    rows = []
+    for mname, threads in [("AMD X2", 4), ("Clovertown", 8),
+                           ("Niagara", 32), ("Cell Blade", 16)]:
+        engine = SpmvEngine(get_machine(mname))
+        plan = engine.plan(links, n_threads=threads)
+        sim = engine.simulate(plan)
+        rows.append([
+            mname, sim.gflops,
+            sim.time_s * iters * 1e3,  # full PageRank, ms
+            sim.bottleneck,
+        ])
+    print()
+    print(format_table(
+        ["machine", "SpMV Gflop/s", "PageRank ms", "bottleneck"],
+        rows,
+        title="modeled full-system performance on this workload",
+    ))
+    print("\nShort power-law rows keep every machine far below its "
+          "dense-matrix rate — the §5.1 prediction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — Optimization of SpMV on emerging multicore platforms.
+
+A full reproduction of Williams, Oliker, Vuduc, Shalf, Yelick & Demmel,
+*Optimization of Sparse Matrix-Vector Multiplication on Emerging
+Multicore Platforms* (SC 2007): the multicore SpMV optimization engine
+(register/cache/TLB blocking, index compression, BCOO, nnz-balanced
+threading, NUMA placement), the OSKI and OSKI-PETSc baselines, the
+14-matrix evaluation suite, and architectural performance models of the
+paper's five platforms (AMD X2, Clovertown, Niagara, Cell PS3/blade).
+
+Quick start::
+
+    from repro import SpmvEngine, generate, get_machine
+
+    a = generate("FEM-Ship", scale=0.1)      # structure-matched matrix
+    engine = SpmvEngine(get_machine("AMD X2"))
+    tuned = engine.tune(a, n_threads=4)      # paper's heuristic tuning
+    y = tuned(x)                             # numerically exact SpMV
+    print(tuned.simulate().summary())        # modeled 2007 performance
+"""
+
+from .core import OptimizationLevel, SpmvEngine, TunedSpMV
+from .formats import (
+    BCOOMatrix,
+    BCSRMatrix,
+    CacheBlockedMatrix,
+    COOMatrix,
+    CSRMatrix,
+    GCSRMatrix,
+    IndexWidth,
+    SparseFormat,
+)
+from .machines import PlacementPolicy, all_machines, get_machine, machine_names
+from .matrices import generate, suite_names
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCOOMatrix",
+    "BCSRMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "CacheBlockedMatrix",
+    "GCSRMatrix",
+    "IndexWidth",
+    "OptimizationLevel",
+    "PlacementPolicy",
+    "ReproError",
+    "SparseFormat",
+    "SpmvEngine",
+    "TunedSpMV",
+    "all_machines",
+    "generate",
+    "get_machine",
+    "machine_names",
+    "suite_names",
+    "__version__",
+]

@@ -1,0 +1,137 @@
+"""Small shared utilities used across the library.
+
+These helpers deliberately avoid any per-element Python loops: every
+routine is a thin composition of vectorized NumPy primitives so that the
+library remains usable on matrices with tens of millions of nonzeros.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .errors import MatrixFormatError
+
+#: Bytes per double-precision value (the paper stores all values as FP64).
+VALUE_BYTES = 8
+
+#: Bytes per row-pointer entry (CSR-style formats use 32-bit pointers).
+POINTER_BYTES = 4
+
+
+def as_f64(a: np.ndarray | Iterable[float]) -> np.ndarray:
+    """Return ``a`` as a contiguous float64 array (view when possible)."""
+    return np.ascontiguousarray(a, dtype=np.float64)
+
+
+def as_index(a: np.ndarray | Iterable[int], dtype=np.int64) -> np.ndarray:
+    """Return ``a`` as a contiguous integer index array."""
+    return np.ascontiguousarray(a, dtype=dtype)
+
+
+def check_shape(shape: tuple[int, int]) -> tuple[int, int]:
+    """Validate an ``(m, n)`` shape, returning it as plain ints."""
+    try:
+        m, n = shape
+    except (TypeError, ValueError) as exc:  # not a 2-sequence
+        raise MatrixFormatError(f"shape must be a pair, got {shape!r}") from exc
+    m, n = int(m), int(n)
+    if m < 0 or n < 0:
+        raise MatrixFormatError(f"shape must be non-negative, got {(m, n)}")
+    return m, n
+
+
+def check_coo_arrays(
+    row: np.ndarray, col: np.ndarray, val: np.ndarray, shape: tuple[int, int]
+) -> None:
+    """Validate raw COO triplet arrays against a shape.
+
+    Raises
+    ------
+    MatrixFormatError
+        If lengths disagree or any index falls outside ``shape``.
+    """
+    m, n = shape
+    if not (len(row) == len(col) == len(val)):
+        raise MatrixFormatError(
+            f"COO arrays disagree in length: {len(row)}, {len(col)}, {len(val)}"
+        )
+    if len(row) == 0:
+        return
+    if row.min(initial=0) < 0 or (m and row.max(initial=0) >= m):
+        raise MatrixFormatError("row index out of range")
+    if col.min(initial=0) < 0 or (n and col.max(initial=0) >= n):
+        raise MatrixFormatError("column index out of range")
+    if m == 0 or n == 0:
+        raise MatrixFormatError("nonzeros present in a zero-dimension matrix")
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    return -(-a // b)
+
+
+def dedupe_coo(
+    row: np.ndarray, col: np.ndarray, val: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort triplets row-major and sum duplicate ``(row, col)`` entries.
+
+    Returns new arrays; inputs are never modified.
+    """
+    if len(row) == 0:
+        return row.copy(), col.copy(), val.copy()
+    order = np.lexsort((col, row))
+    row, col, val = row[order], col[order], val[order]
+    # Boundary mask: True where a new (row, col) pair starts.
+    new = np.empty(len(row), dtype=bool)
+    new[0] = True
+    np.not_equal(row[1:], row[:-1], out=new[1:])
+    np.logical_or(new[1:], col[1:] != col[:-1], out=new[1:])
+    if new.all():
+        return row, col, val
+    starts = np.flatnonzero(new)
+    sums = np.add.reduceat(val, starts)
+    return row[starts], col[starts], sums
+
+
+def segment_sums(values: np.ndarray, starts: np.ndarray, total: int) -> np.ndarray:
+    """Sum ``values`` over leading-axis segments given by ``starts``.
+
+    ``starts`` has one entry per segment (ascending, within
+    ``[0, len(values)]``); empty segments yield 0. This wraps
+    ``np.add.reduceat`` which mishandles empty segments (it returns the
+    element at the start index instead of zero), a sharp edge every CSR
+    row-reduction in this library must avoid. ``values`` may be N-D; the
+    reduction runs over axis 0.
+    """
+    nseg = len(starts)
+    out = np.zeros((nseg,) + values.shape[1:], dtype=values.dtype)
+    if len(values) == 0 or nseg == 0:
+        return out
+    ends = np.empty(nseg, dtype=starts.dtype)
+    ends[:-1] = starts[1:]
+    ends[-1] = total
+    nonempty = ends > starts
+    if not nonempty.any():
+        return out
+    red = np.add.reduceat(values, starts[nonempty], axis=0)
+    out[nonempty] = red
+    return out
+
+
+def unique_count(a: np.ndarray) -> int:
+    """Number of distinct values in ``a`` (0 for empty input)."""
+    if len(a) == 0:
+        return 0
+    return int(len(np.unique(a)))
+
+
+def human_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``'1.5 MiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")

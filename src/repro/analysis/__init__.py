@@ -1,0 +1,18 @@
+"""Performance analysis: flop:byte bounds, roofline, power, reports."""
+
+from .bounds import epidemiology_bound, flop_byte_bound, spmv_upper_bound
+from .power import power_efficiency, power_efficiency_table
+from .report import format_table, median
+from .roofline import RooflinePoint, roofline_model
+
+__all__ = [
+    "RooflinePoint",
+    "epidemiology_bound",
+    "flop_byte_bound",
+    "format_table",
+    "median",
+    "power_efficiency",
+    "power_efficiency_table",
+    "roofline_model",
+    "spmv_upper_bound",
+]

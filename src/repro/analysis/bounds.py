@@ -1,0 +1,66 @@
+"""Flop:byte performance bounds (paper §5.1).
+
+The paper reasons about expected performance from structure alone:
+SpMV's flop:byte ratio is at most 0.25 (2 flops per 8-byte value), and
+matrices with large uncacheable vectors fall well below it — the
+Epidemiology walk-through computes 0.11 and bounds the achievable rate
+by ``ratio × sustained bandwidth``. These helpers make that arithmetic
+a first-class, testable object.
+"""
+
+from __future__ import annotations
+
+from .._util import VALUE_BYTES
+from ..formats.base import SparseFormat
+from ..formats.coo import COOMatrix
+
+#: The paper's stated ceiling: "2 flops for 8 bytes, 0.25".
+MAX_FLOP_BYTE = 0.25
+
+
+def flop_byte_bound(
+    nnz: int,
+    matrix_bytes_per_nnz: float,
+    nrows: int,
+    ncols: int,
+    *,
+    write_allocate: bool = True,
+) -> float:
+    """Flop:byte ratio given per-nonzero storage and compulsory vectors.
+
+    Reproduces the paper's Epidemiology arithmetic:
+    ``2·nnz / (bytes_per_nnz·nnz + 8·ncols + 16·nrows)``.
+    """
+    y_cost = 2 * VALUE_BYTES if write_allocate else VALUE_BYTES
+    traffic = matrix_bytes_per_nnz * nnz + VALUE_BYTES * ncols + \
+        y_cost * nrows
+    if traffic <= 0:
+        return 0.0
+    return 2.0 * nnz / traffic
+
+
+def epidemiology_bound() -> float:
+    """The paper's worked example: 2·2.1M / (12·2.1M + 8·526K + 16·526K)
+    ≈ 0.11 flops per byte."""
+    return flop_byte_bound(2_100_000, 12.0, 526_000, 526_000)
+
+
+def spmv_upper_bound(
+    matrix: SparseFormat | COOMatrix,
+    sustained_bw_bytes: float,
+    *,
+    write_allocate: bool = True,
+) -> float:
+    """Best-case Gflop/s of one SpMV pass at a given sustained bandwidth.
+
+    ``bound = flop:byte × bandwidth`` — the memory-roofline limit for a
+    concrete stored matrix.
+    """
+    nnz = matrix.nnz_logical
+    if nnz == 0:
+        return 0.0
+    bytes_per_nnz = matrix.footprint_bytes() / nnz
+    m, n = matrix.shape
+    ratio = flop_byte_bound(nnz, bytes_per_nnz, m, n,
+                            write_allocate=write_allocate)
+    return ratio * sustained_bw_bytes / 1e9

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Sequence
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of a non-empty sequence (the paper reports median-matrix
+    results throughout Figures 1–2)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("median of empty sequence")
+    return float(statistics.median(vals))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a list-of-rows as an aligned monospace table."""
+    def fmt(v):
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    srows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in srows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """ASCII horizontal bar chart (Figure 1/2 in a terminal)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values lengths differ")
+    vmax = max(values) if values else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+    lw = max(len(lab) for lab in labels) if labels else 0
+    lines = [title] if title else []
+    for lab, v in zip(labels, values):
+        bar = "#" * max(0, int(round(width * v / vmax)))
+        lines.append(f"{lab.ljust(lw)} | {bar} {v:.3f}{unit}")
+    return "\n".join(lines)

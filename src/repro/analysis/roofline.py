@@ -1,0 +1,86 @@
+"""Roofline model of the evaluated machines.
+
+The paper predates the roofline paper by the same first author, but its
+analysis *is* a roofline analysis: every machine's SpMV rate is
+``min(peak flops, arithmetic intensity × sustained bandwidth)``. This
+module generates the roofline curves and places measured/simulated
+kernels on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machines.model import Machine
+from ..simulator.memory import sustained_bandwidth
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a machine's roofline."""
+
+    label: str
+    intensity: float       #: flops per DRAM byte
+    gflops: float          #: achieved rate
+    bound_gflops: float    #: roofline at this intensity
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable at this intensity."""
+        return self.gflops / self.bound_gflops if self.bound_gflops else 0.0
+
+
+def roofline_model(
+    machine: Machine,
+    intensities: np.ndarray | None = None,
+    *,
+    use_sustained: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(intensity, attainable Gflop/s) arrays for one machine.
+
+    ``use_sustained`` draws the ceiling with the model's sustainable
+    bandwidth (what real kernels see); False uses advertised peak.
+    """
+    if intensities is None:
+        intensities = np.logspace(-2, 4, 200, base=2.0)
+    if use_sustained:
+        bw = sustained_bandwidth(machine).sustained_bw
+    else:
+        bw = machine.peak_bw
+    peak = machine.peak_dp_gflops
+    attainable = np.minimum(peak, intensities * bw / 1e9)
+    return intensities, attainable
+
+
+def attainable_gflops(machine: Machine, intensity: float,
+                      *, use_sustained: bool = True) -> float:
+    """Roofline value at one arithmetic intensity."""
+    xs, ys = roofline_model(machine, np.array([intensity]),
+                            use_sustained=use_sustained)
+    return float(ys[0])
+
+
+def place_point(
+    machine: Machine, label: str, gflops: float, traffic_bytes: float,
+    flops: float,
+) -> RooflinePoint:
+    """Place an observed kernel execution on the machine's roofline."""
+    intensity = flops / traffic_bytes if traffic_bytes else 0.0
+    return RooflinePoint(
+        label=label,
+        intensity=intensity,
+        gflops=gflops,
+        bound_gflops=attainable_gflops(machine, intensity),
+    )
+
+
+def ridge_point(machine: Machine, *, use_sustained: bool = True) -> float:
+    """Intensity where the machine turns compute-bound (the paper's
+    'System Flop:Byte ratio' row of Table 1 uses peak bandwidth)."""
+    if use_sustained:
+        bw = sustained_bandwidth(machine).sustained_bw
+    else:
+        bw = machine.peak_bw
+    return machine.peak_dp_gflops * 1e9 / bw

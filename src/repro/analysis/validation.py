@@ -1,0 +1,73 @@
+"""Cross-validation of the analytic traffic model vs exact simulation.
+
+The executor's speed comes from the analytic source-vector traffic
+model; its trustworthiness comes from this module, which replays real
+kernel address traces through the exact set-associative cache simulator
+and reports the ratio between modeled and simulated miss traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..machines.model import CacheLevel
+from ..simulator.cache import CacheSim
+from ..simulator.cache_analytic import vector_traffic
+from ..simulator.trace import csr_spmv_trace, default_layout
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One model-vs-simulation comparison."""
+
+    label: str
+    exact_x_bytes: float
+    model_x_bytes: float
+
+    @property
+    def ratio(self) -> float:
+        """model / exact (1.0 = perfect; the model is bound-flavored,
+        so mild under/over-estimation is expected)."""
+        if self.exact_x_bytes == 0:
+            return 1.0
+        return self.model_x_bytes / self.exact_x_bytes
+
+
+def validate_x_traffic(
+    csr: CSRMatrix, cache: CacheLevel, *, label: str = ""
+) -> ValidationPoint:
+    """Compare modeled vs exactly simulated source-vector traffic for
+    one CSR matrix on one cache geometry.
+
+    The exact side replays only the ``x`` gather stream (matrix streams
+    are compulsory by construction and identical on both sides).
+    """
+    layout = default_layout(csr)
+    x_addrs = csr_spmv_trace(csr, layout=layout, include_streams=False)
+    sim = CacheSim(cache)
+    sim.access_many(x_addrs)
+    exact_bytes = sim.stats.misses * cache.line_bytes
+    vt = vector_traffic(
+        csr.indices.astype(np.int64),
+        n_rows_touched=int((np.diff(csr.indptr) > 0).sum()),
+        cache=cache,
+        x_span_elems=csr.ncols,
+    )
+    return ValidationPoint(
+        label=label or f"{csr.nrows}x{csr.ncols}",
+        exact_x_bytes=float(exact_bytes),
+        model_x_bytes=float(vt.x_bytes),
+    )
+
+
+def validation_sweep(
+    matrices: dict[str, CSRMatrix], cache: CacheLevel
+) -> list[ValidationPoint]:
+    """Validate a set of matrices; returns one point per matrix."""
+    return [
+        validate_x_traffic(csr, cache, label=name)
+        for name, csr in matrices.items()
+    ]

@@ -1,0 +1,21 @@
+"""Comparison baselines: OSKI (serial autotuning) and OSKI-PETSc (MPI).
+
+The paper benchmarks its multicore implementation against
+
+* **OSKI** [Vuduc et al. 2005] — serial, SPARSITY-style register-block
+  autotuning with 32-bit indices, no software prefetch, no BCOO, no
+  index compression (the optimizations Table 2 lists as *beyond* OSKI);
+* **OSKI-PETSc** — PETSc's distributed SpMV (equal-rows 1-D block
+  partition) over MPICH's shared-memory device, with OSKI tuning the
+  serial per-process kernel. Communication is memory copies, which the
+  paper measures at ~30 % of SpMV time on average and up to 56 % (LP).
+
+Both are implemented against the same machine models and simulator as
+the paper's own implementation, so Figure 1's circles and triangles can
+be regenerated.
+"""
+
+from .oski import OskiTuner
+from .petsc import PetscResult, petsc_spmv_model
+
+__all__ = ["OskiTuner", "PetscResult", "petsc_spmv_model"]

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+machines            Table 1: the evaluated machine models.
+suite [--scale]     Table 3: generate the matrix suite, print structure.
+tune MATRIX         Tune one matrix for one machine and simulate it.
+sweep MATRIX        The Figure 1 ladder for one matrix on one machine.
+compare MATRIX      All five machines on one matrix (mini Figure 2a).
+info FILE           Structure report for a MatrixMarket/.npz file.
+validate            Analytic-vs-exact cache traffic validation sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .analysis import format_table
+from .analysis.report import format_bar_chart
+from .core import OptimizationLevel, SpmvEngine
+from .machines import all_machines, get_machine, machine_names
+from .matrices import (
+    compute_stats,
+    generate,
+    load_matrix,
+    load_matrix_market,
+    suite_table,
+)
+
+L = OptimizationLevel
+
+
+def _cmd_machines(args) -> int:
+    rows = []
+    for m in all_machines():
+        d = m.describe()
+        rows.append([
+            d["name"],
+            f"{d['sockets']}x{d['cores_per_socket']}x"
+            f"{d['threads_per_core']}",
+            d["clock_ghz"], d["dp_gflops_system"], d["dram_gbs"],
+            d["flop_byte"], d["llc_mb_total"], d["watts_system"],
+        ])
+    print(format_table(
+        ["machine", "SxCxT", "GHz", "GF/s", "GB/s", "F:B", "LLC MB",
+         "W"],
+        rows, title="Evaluated machine models (paper Table 1)",
+        float_fmt="{:.2f}",
+    ))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    rows = [
+        [r["name"], r["rows"], r["cols"], r["nnz"],
+         round(r["nnz_per_row"], 1), r["notes"]]
+        for r in suite_table(scale=args.scale)
+    ]
+    print(format_table(
+        ["matrix", "rows", "cols", "nnz", "nnz/row", "origin"], rows,
+        title=f"Matrix suite at scale {args.scale} (paper Table 3)",
+    ))
+    return 0
+
+
+def _load_or_generate(args):
+    if args.matrix.endswith((".mtx", ".npz")):
+        if args.matrix.endswith(".mtx"):
+            return load_matrix_market(args.matrix)
+        return load_matrix(args.matrix)
+    return generate(args.matrix, scale=args.scale, seed=args.seed)
+
+
+def _cmd_tune(args) -> int:
+    coo = _load_or_generate(args)
+    engine = SpmvEngine(get_machine(args.machine))
+    threads = args.threads or engine.machine.n_cores
+    plan = engine.plan(coo, n_threads=threads)
+    res = engine.simulate(plan)
+    d = plan.describe()
+    print(f"matrix    : {args.matrix} "
+          f"({coo.nrows}x{coo.ncols}, {coo.nnz_logical:,} nnz)")
+    print(f"machine   : {args.machine}, {threads} threads")
+    print(f"blocks    : {d['n_blocks']} ({d['block_formats']})")
+    print(f"footprint : {d['footprint_bytes'] / 1e6:.2f} MB "
+          f"(naive: {16 * coo.nnz_logical / 1e6:.2f} MB)")
+    print(f"simulated : {res.gflops:.3f} Gflop/s, "
+          f"{res.sustained_gbs:.2f} GB/s, {res.bottleneck}-bound")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    coo = _load_or_generate(args)
+    machine = get_machine(args.machine)
+    engine = SpmvEngine(machine)
+    labels, values = [], []
+    for lvl in [L.NAIVE, L.PF, L.PF_RB, L.PF_RB_CB]:
+        res = engine.simulate(engine.plan(coo, level=lvl, n_threads=1))
+        labels.append(f"1 thread [{lvl.value}]")
+        values.append(res.gflops)
+    t = 1
+    while t < machine.n_threads:
+        t *= 2
+        t_eff = min(t, machine.n_threads)
+        try:
+            res = engine.simulate(engine.plan(coo, n_threads=t_eff))
+        except Exception:
+            continue
+        labels.append(f"{t_eff} threads [full]")
+        values.append(res.gflops)
+        if t_eff == machine.n_threads:
+            break
+    print(format_bar_chart(
+        labels, values, unit=" GF/s",
+        title=f"{args.matrix} on {args.machine} (Figure 1 ladder)",
+    ))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    coo = _load_or_generate(args)
+    labels, values = [], []
+    for name in machine_names():
+        machine = get_machine(name)
+        engine = SpmvEngine(machine)
+        res = engine.simulate(
+            engine.plan(coo, n_threads=machine.n_threads)
+        )
+        labels.append(name)
+        values.append(res.gflops)
+    print(format_bar_chart(
+        labels, values, unit=" GF/s",
+        title=f"{args.matrix}: full-system simulated performance",
+    ))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    if args.file.endswith(".npz"):
+        coo = load_matrix(args.file)
+    else:
+        coo = load_matrix_market(args.file)
+    s = compute_stats(coo)
+    rows = [
+        ["shape", f"{s.nrows} x {s.ncols}"],
+        ["nonzeros", f"{s.nnz:,}"],
+        ["nnz/row", f"{s.nnz_per_row_mean:.2f} "
+                    f"(min {s.nnz_per_row_min}, max {s.nnz_per_row_max})"],
+        ["empty rows", s.empty_rows],
+        ["density", f"{s.density:.2e}"],
+        ["diag spread", f"{s.diag_spread:.3f}"],
+        ["best block", f"{s.best_block()} "
+                       f"(fill {s.block_fill[s.best_block()]:.2f})"],
+    ]
+    print(format_table(["property", "value"], rows, title=args.file))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    """Render a cached Figure 1 sweep (produced by the benchmarks)."""
+    import json
+    import os
+
+    from .analysis.figures import render_figure1_panel
+
+    path = args.cache
+    if not os.path.exists(path):
+        print(f"no cached sweep at {path}; run "
+              f"`pytest benchmarks/bench_fig1_*.py --benchmark-only` "
+              f"first", file=sys.stderr)
+        return 1
+    with open(path) as f:
+        data = json.load(f)
+    columns: list[str] = []
+    for bars in data.values():
+        for k in bars:
+            if k not in columns:
+                columns.append(k)
+    print(render_figure1_panel(args.machine, data, columns))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .analysis.validation import validation_sweep
+    from .formats import coo_to_csr
+
+    cache = get_machine(args.machine).last_level_cache
+    if cache is None:
+        print("local-store machine: nothing to validate", file=sys.stderr)
+        return 1
+    mats = {
+        name: coo_to_csr(generate(name, scale=args.scale, seed=0))
+        for name in ["FEM-Har", "Econom", "Epidem", "Circuit"]
+    }
+    pts = validation_sweep(mats, cache)
+    rows = [[p.label, p.exact_x_bytes / 1e6, p.model_x_bytes / 1e6,
+             p.ratio] for p in pts]
+    print(format_table(
+        ["matrix", "exact x MB", "model x MB", "model/exact"], rows,
+        title=f"source-vector traffic: analytic model vs exact "
+              f"{args.machine} LLC simulation",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'07 multicore SpMV optimization — reproduction",
+    )
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="print the machine models")
+
+    sp = sub.add_parser("suite", help="generate and describe the suite")
+    sp.add_argument("--scale", type=float, default=0.05)
+
+    for name, helptext in [("tune", "tune one matrix"),
+                           ("sweep", "optimization ladder"),
+                           ("compare", "all machines")]:
+        sp = sub.add_parser(name, help=helptext)
+        sp.add_argument("matrix",
+                        help="suite name, .mtx file, or .npz file")
+        sp.add_argument("--machine", default="AMD X2",
+                        choices=machine_names())
+        sp.add_argument("--scale", type=float, default=0.1)
+        sp.add_argument("--seed", type=int, default=0)
+        if name == "tune":
+            sp.add_argument("--threads", type=int, default=None)
+
+    sp = sub.add_parser("info", help="describe a matrix file")
+    sp.add_argument("file")
+
+    sp = sub.add_parser("validate",
+                        help="traffic model vs exact cache simulation")
+    sp.add_argument("--machine", default="AMD X2",
+                    choices=machine_names())
+    sp.add_argument("--scale", type=float, default=0.02)
+
+    sp = sub.add_parser("figures",
+                        help="render a cached Figure 1 sweep as ASCII")
+    sp.add_argument("cache", help="benchmarks/.bench_cache/fig1_*.json")
+    sp.add_argument("--machine", default="(cached sweep)")
+    return p
+
+
+_COMMANDS = {
+    "machines": _cmd_machines,
+    "suite": _cmd_suite,
+    "tune": _cmd_tune,
+    "sweep": _cmd_sweep,
+    "compare": _cmd_compare,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,433 @@
+"""Heuristic data-structure selection (paper §4.2).
+
+Two heuristics, both one-pass and search-free, exactly as the paper
+prescribes ("rather than tuning via search, our implementation performs
+one pass over the nonzeros to determine the combination of register
+blocking, index size, first/last row, and format that minimizes the
+matrix footprint"):
+
+* :func:`choose_block_format` — per cache block, pick (format ∈
+  {CSR/BCSR, BCOO, GCSR}, r×c ∈ power-of-two ≤ 4×4, index width ∈
+  {16, 32}) minimizing stored bytes.
+* :func:`sparse_cache_block_specs` — the paper's *sparse* cache
+  blocking: fix a budget of cache lines, split it between source and
+  destination vectors, and span however many columns it takes for each
+  block to touch that many source lines (so every block has equal cache
+  pressure, unlike classical fixed-span blocking). TLB blocking applies
+  the same logic to pages, composed "between cache blocking rows and
+  cache blocking columns".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import POINTER_BYTES, VALUE_BYTES, ceil_div
+from ..errors import TuningError
+from ..formats.base import IndexWidth
+from ..formats.bcsr import POWER_OF_TWO_BLOCKS
+from ..formats.coo import COOMatrix
+from ..machines.model import Machine
+from ..simulator.tlb import max_cols_for_tlb_reach
+
+
+@dataclass(frozen=True)
+class FormatChoice:
+    """Outcome of the footprint heuristic for one cache block."""
+
+    format_name: str      #: "csr" | "bcsr" | "bcoo" | "gcsr"
+    r: int
+    c: int
+    index_width: IndexWidth
+    ntiles: int
+    nnz_stored: int
+    footprint: int
+    n_segments: int       #: executed row segments (0 for BCOO)
+
+    @property
+    def index_bytes(self) -> int:
+        return int(self.index_width)
+
+
+def _tile_stats(row: np.ndarray, col: np.ndarray, r: int, c: int,
+                n_bcols: int) -> tuple[int, int]:
+    """(occupied tiles, non-empty tile rows) for an r×c blocking."""
+    key = (row // r).astype(np.int64) * n_bcols + col // c
+    uniq = np.unique(key)
+    ntiles = len(uniq)
+    n_tile_rows = len(np.unique(uniq // n_bcols))
+    return ntiles, n_tile_rows
+
+
+def choose_block_format(
+    local: COOMatrix,
+    *,
+    allow_register_blocking: bool = True,
+    allow_16bit: bool = True,
+    allow_bcoo: bool = True,
+    allow_gcsr: bool = False,
+    block_candidates: tuple[tuple[int, int], ...] = POWER_OF_TWO_BLOCKS,
+) -> FormatChoice:
+    """Pick the minimum-footprint encoding for one cache block.
+
+    Parameters
+    ----------
+    local : COOMatrix
+        The block's nonzeros in local coordinates.
+    allow_register_blocking : bool
+        When False only 1×1 candidates are considered (the RB ablation
+        and the naive/PF rungs of Figure 1).
+    allow_16bit : bool
+        Permit 2-byte indices when the indexed span fits 64 K.
+    allow_bcoo : bool
+        Permit the coordinate encoding (wins on blocks with many empty
+        rows).
+    allow_gcsr : bool
+        Also consider generalized CSR (OSKI's empty-row alternative).
+    """
+    m, n = local.shape
+    nnz = local.nnz_logical
+    if nnz == 0:
+        raise TuningError("cannot choose a format for an empty block")
+    candidates = (
+        block_candidates if allow_register_blocking else ((1, 1),)
+    )
+    best: FormatChoice | None = None
+    rows_touched = int(len(np.unique(local.row)))
+    for (r, c) in candidates:
+        n_brows = ceil_div(m, r)
+        n_bcols = ceil_div(n, c)
+        ntiles, n_tile_rows = _tile_stats(local.row, local.col, r, c,
+                                          n_bcols)
+        nnz_stored = ntiles * r * c
+        # Index width: the paper stores 16-bit indices when the indexed
+        # dimension (here the block-column span) fits in 64K.
+        if allow_16bit and n_bcols <= IndexWidth.I16.max_span and \
+                n_brows <= IndexWidth.I16.max_span:
+            width = IndexWidth.I16
+        else:
+            width = IndexWidth.I32
+        idx = int(width)
+        # CSR/BCSR: one index per tile + a pointer per tile row
+        # (including empty tile rows — that is BCOO's opening).
+        bcsr_bytes = (
+            VALUE_BYTES * nnz_stored + idx * ntiles
+            + POINTER_BYTES * (n_brows + 1)
+        )
+        bcsr_name = "csr" if (r, c) == (1, 1) else "bcsr"
+        options = [
+            FormatChoice(bcsr_name, r, c, width, ntiles, nnz_stored,
+                         bcsr_bytes, n_tile_rows)
+        ]
+        if allow_bcoo:
+            bcoo_bytes = VALUE_BYTES * nnz_stored + 2 * idx * ntiles
+            options.append(
+                FormatChoice("bcoo", r, c, width, ntiles, nnz_stored,
+                             bcoo_bytes, 0)
+            )
+        if allow_gcsr and (r, c) == (1, 1):
+            gcsr_bytes = (
+                VALUE_BYTES * nnz + idx * nnz
+                + POINTER_BYTES * (rows_touched + 1)
+                + POINTER_BYTES * rows_touched
+            )
+            options.append(
+                FormatChoice("gcsr", 1, 1, width, nnz, nnz,
+                             gcsr_bytes, rows_touched)
+            )
+        for opt in options:
+            if best is None or opt.footprint < best.footprint:
+                best = opt
+    assert best is not None
+    return best
+
+
+def lex3_order(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+               b_span: int, c_span: int) -> np.ndarray:
+    """Order sorting by (a, b, c) via one combined-key argsort (3x
+    faster than ``np.lexsort`` for these integer ranges)."""
+    key = (a * (b_span + 1) + b) * (c_span + 1) + c
+    return np.argsort(key, kind="stable")
+
+
+def _transitions(sorted_key: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first occurrence of each run in a
+    non-decreasing key sequence."""
+    new = np.empty(len(sorted_key), dtype=bool)
+    if len(sorted_key):
+        new[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=new[1:])
+    return new
+
+
+def choose_formats_batch(
+    block_id: np.ndarray,
+    lrow: np.ndarray,
+    lcol: np.ndarray,
+    block_rows: np.ndarray,
+    block_cols: np.ndarray,
+    *,
+    allow_register_blocking: bool = True,
+    allow_16bit: bool = True,
+    allow_bcoo: bool = True,
+    allow_gcsr: bool = False,
+    block_candidates: tuple[tuple[int, int], ...] = POWER_OF_TWO_BLOCKS,
+    order: np.ndarray | None = None,
+) -> list[FormatChoice]:
+    """Vectorized :func:`choose_block_format` over many blocks at once.
+
+    The nonzeros are sorted once by ``(block, row, col)``; because floor
+    division preserves lexicographic order, the tile key of *every*
+    register-block candidate is non-decreasing on that same order, so
+    each candidate's tile and tile-row counts reduce to O(n) transition
+    counting — no per-candidate sort or hash. This keeps full-suite
+    planning in seconds while remaining exactly equivalent to the scalar
+    heuristic (cross-checked in tests).
+
+    Parameters
+    ----------
+    block_id : int64 array, one entry per nonzero
+        Owning cache block of each nonzero (ids in ``[0, n_blocks)``).
+    lrow, lcol : int64 arrays
+        Block-local coordinates of each nonzero.
+    block_rows, block_cols : int64 arrays, length ``n_blocks``
+        Height/width of every block.
+    order : int64 array, optional
+        Precomputed ``np.lexsort((lcol, lrow, block_id))`` (engine
+        reuses it for profile statistics).
+    """
+    n_blocks = len(block_rows)
+    if n_blocks == 0:
+        return []
+    nnz_per_block = np.bincount(block_id, minlength=n_blocks)
+    if (nnz_per_block == 0).any():
+        raise TuningError("batch format choice requires non-empty blocks")
+    max_m_span = int(block_rows.max())
+    max_n_span = int(block_cols.max())
+    if order is None:
+        order = lex3_order(block_id, lrow, lcol, max_m_span, max_n_span)
+    max_m = max_m_span
+    b1, r1_, c1_ = block_id[order], lrow[order], lcol[order]
+    rt_new = _transitions(b1 * (max_m + 1) + r1_)
+    rows_touched = np.bincount(b1[rt_new], minlength=n_blocks)
+    candidates = (
+        block_candidates if allow_register_blocking else ((1, 1),)
+    )
+    # One sort per distinct tile height r: on a (block, row//r, col)
+    # order, every (r, c) tile key is non-decreasing, so tile counts are
+    # O(n) transition counts. (Sorting by plain row is NOT enough: two
+    # rows of the same tile row interleave their columns.)
+    by_r: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for (r, _c) in candidates:
+        if r in by_r:
+            continue
+        if r == 1:
+            by_r[1] = (b1, r1_, c1_)
+        else:
+            o = lex3_order(block_id, lrow // r, lcol,
+                           max_m_span // r, max_n_span)
+            by_r[r] = (block_id[o], lrow[o], lcol[o])
+    best_foot = np.full(n_blocks, np.iinfo(np.int64).max, dtype=np.int64)
+    best = {
+        "fmt": np.zeros(n_blocks, dtype=np.int8),  # 0 csr,1 bcsr,2 bcoo,3 gcsr
+        "r": np.ones(n_blocks, dtype=np.int64),
+        "c": np.ones(n_blocks, dtype=np.int64),
+        "idx": np.full(n_blocks, 4, dtype=np.int64),
+        "ntiles": np.zeros(n_blocks, dtype=np.int64),
+        "segments": np.zeros(n_blocks, dtype=np.int64),
+    }
+
+    def consider(fmt_code, foot, r, c, idx, ntiles, segments):
+        better = foot < best_foot
+        if not better.any():
+            return
+        best_foot[better] = foot[better]
+        best["fmt"][better] = fmt_code
+        best["r"][better] = r
+        best["c"][better] = c
+        best["idx"][better] = idx[better] if isinstance(idx, np.ndarray) \
+            else idx
+        best["ntiles"][better] = ntiles[better]
+        best["segments"][better] = segments[better]
+
+    for (r, c) in candidates:
+        b_s, r_s, c_s = by_r[r]
+        kr = int(block_rows.max() // r) + 2
+        kc = int(block_cols.max() // c) + 2
+        brow_key = b_s * kr + r_s // r        # non-decreasing on order
+        tile_key = brow_key * kc + c_s // c   # non-decreasing on order
+        new_tile = _transitions(tile_key)
+        ntiles = np.bincount(b_s[new_tile], minlength=n_blocks)
+        new_trow = _transitions(brow_key)
+        tile_rows = np.bincount(b_s[new_trow], minlength=n_blocks)
+        n_brows_full = -(-block_rows // r)
+        n_bcols_full = -(-block_cols // c)
+        can16 = (
+            allow_16bit
+            & (n_bcols_full <= IndexWidth.I16.max_span)
+            & (n_brows_full <= IndexWidth.I16.max_span)
+        )
+        idx = np.where(can16, 2, 4)
+        nnz_stored = ntiles * (r * c)
+        bcsr_foot = (
+            VALUE_BYTES * nnz_stored + idx * ntiles
+            + POINTER_BYTES * (n_brows_full + 1)
+        )
+        fmt_code = 0 if (r, c) == (1, 1) else 1
+        consider(fmt_code, bcsr_foot, r, c, idx, ntiles, tile_rows)
+        if allow_bcoo:
+            bcoo_foot = VALUE_BYTES * nnz_stored + 2 * idx * ntiles
+            consider(2, bcoo_foot, r, c, idx, ntiles, tile_rows)
+        if allow_gcsr and (r, c) == (1, 1):
+            gcsr_foot = (
+                VALUE_BYTES * nnz_per_block + idx * nnz_per_block
+                + POINTER_BYTES * (rows_touched + 1)
+                + POINTER_BYTES * rows_touched
+            )
+            consider(3, gcsr_foot, 1, 1, idx, nnz_per_block, rows_touched)
+
+    names = {0: "csr", 1: "bcsr", 2: "bcoo", 3: "gcsr"}
+    out: list[FormatChoice] = []
+    for i in range(n_blocks):
+        fmt = names[int(best["fmt"][i])]
+        r, c = int(best["r"][i]), int(best["c"][i])
+        ntiles = int(best["ntiles"][i])
+        segs = int(best["segments"][i]) if fmt != "bcoo" else 0
+        out.append(
+            FormatChoice(
+                format_name=fmt, r=r, c=c,
+                index_width=IndexWidth(int(best["idx"][i])),
+                ntiles=ntiles,
+                nnz_stored=(
+                    ntiles * r * c if fmt != "gcsr"
+                    else int(nnz_per_block[i])
+                ),
+                footprint=int(best_foot[i]),
+                n_segments=segs,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sparse cache blocking + TLB blocking
+# ----------------------------------------------------------------------
+def sparse_cache_block_specs(
+    coo: COOMatrix,
+    machine: Machine,
+    *,
+    effective_cache_fraction: float = 0.5,
+    x_share: float = 0.75,
+    tlb_block: bool = True,
+    tlb_reserve_pages: int = 4,
+) -> list[tuple[int, int, int, int]]:
+    """Cache-utilization-aware block extents for one matrix.
+
+    Row panels are sized so the destination slice fits its share of the
+    cache-line budget; within each panel, column cuts fall wherever the
+    accumulated count of *touched* source-vector lines reaches the
+    source share — so every block touches the same number of lines even
+    though each spans a different number of columns (§4.2). When
+    ``tlb_block`` is set, a cut also falls when the touched-page count
+    reaches the TLB budget.
+    """
+    m, n = coo.shape
+    llc = machine.last_level_cache
+    if llc is None:
+        raise TuningError(
+            "sparse cache blocking requires a cache; use cell_block_specs "
+            "for local-store machines"
+        )
+    if not (0 < x_share < 1):
+        raise TuningError("x_share must be in (0, 1)")
+    line_elems = max(1, llc.line_bytes // VALUE_BYTES)
+    budget_lines = int(
+        llc.size_bytes * effective_cache_fraction / llc.line_bytes
+    )
+    x_budget = max(1, int(budget_lines * x_share))
+    y_budget = max(1, budget_lines - x_budget)
+    rows_per_panel = max(line_elems, y_budget * line_elems)
+    page_budget = None
+    page_elems = None
+    if tlb_block and machine.tlb is not None:
+        page_elems = max(1, machine.tlb.page_bytes // VALUE_BYTES)
+        page_budget = max(1, machine.tlb.entries - tlb_reserve_pages)
+
+    specs: list[tuple[int, int, int, int]] = []
+    # COO is row-major sorted: panel extraction by searchsorted.
+    row = coo.row
+    col = coo.col
+    for r0 in range(0, max(m, 1), rows_per_panel):
+        r1 = min(r0 + rows_per_panel, m)
+        lo = np.searchsorted(row, r0, side="left")
+        hi = np.searchsorted(row, r1, side="left")
+        panel_cols = col[lo:hi]
+        if len(panel_cols) == 0:
+            specs.append((r0, r1, 0, n))
+            if m == 0:
+                break
+            continue
+        ul = np.unique(panel_cols // line_elems)  # sorted unique lines
+        if page_budget is not None:
+            lines_per_page = max(1, page_elems // line_elems)
+            pages = ul // lines_per_page
+        c_start = 0
+        i = 0
+        n_lines = len(ul)
+        while i < n_lines:
+            j = min(i + x_budget, n_lines)
+            if page_budget is not None:
+                j_pages = int(
+                    np.searchsorted(pages, pages[i] + page_budget,
+                                    side="left")
+                )
+                j = min(j, max(j_pages, i + 1))
+            c_end = int((ul[j - 1] + 1) * line_elems)
+            if j >= n_lines:
+                c_end = n
+            specs.append((r0, r1, c_start, min(c_end, n)))
+            c_start = min(c_end, n)
+            i = j
+        if c_start < n:
+            # Trailing untouched columns: extend the last block.
+            r0_, r1_, c0_, _ = specs[-1]
+            specs[-1] = (r0_, r1_, c0_, n)
+        if m == 0:
+            break
+    return specs
+
+
+def cell_block_specs(
+    coo: COOMatrix,
+    machine: Machine,
+    *,
+    code_and_buffers_bytes: int = 56 * 1024,
+    x_share: float = 0.5,
+) -> list[tuple[int, int, int, int]]:
+    """Dense (classical) cache blocking for the Cell local store.
+
+    The paper's Cell implementation "uses only dense cache blocks":
+    fixed row/column extents sized so that the double-buffered source
+    and destination slices fit the 256 KB local store alongside code
+    and DMA buffers — no sparse-blocking cleverness.
+    """
+    if machine.local_store_bytes is None:
+        raise TuningError("cell_block_specs requires a local-store machine")
+    usable = machine.local_store_bytes - code_and_buffers_bytes
+    if usable <= 0:
+        raise TuningError("local store too small for buffers")
+    x_bytes = int(usable * x_share)
+    y_bytes = usable - x_bytes
+    cols = max(256, x_bytes // VALUE_BYTES)
+    rows = max(256, y_bytes // (2 * VALUE_BYTES))  # double-buffered y
+    m, n = coo.shape
+    specs: list[tuple[int, int, int, int]] = []
+    for r0 in range(0, max(m, 1), rows):
+        r1 = min(r0 + rows, m)
+        for c0 in range(0, max(n, 1), cols):
+            specs.append((r0, r1, c0, min(c0 + cols, n)))
+        if m == 0 or n == 0:
+            break
+    return specs

@@ -1,0 +1,142 @@
+"""Per-architecture optimization selection (paper Table 2).
+
+Maps the cumulative optimization rungs of Figure 1 (naive → +PF → +RB →
++CB → fully parallel) onto concrete :class:`OptimizationConfig` objects,
+honoring Table 2's applicability matrix: which optimization classes each
+architecture received, and the Cell-specific reduced path ("only dense
+cache blocks and virtually no other optimization aside from the
+mandatory DMAs and compressed 2 byte indices").
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import TuningError
+from ..machines.model import Machine, PlacementPolicy
+from ..simulator.cpu import KernelVariant, optimized_variant
+from .plan import OptimizationConfig
+
+
+class OptimizationLevel(enum.Enum):
+    """Cumulative rungs of the Figure 1 optimization ladder."""
+
+    NAIVE = "naive"
+    PF = "pf"                 #: + code generation & software prefetch
+    PF_RB = "pf_rb"           #: + register blocking, 16-bit idx, BCOO
+    PF_RB_CB = "pf_rb_cb"     #: + sparse cache & TLB blocking
+    FULL = "full"             #: everything (what parallel runs use)
+
+
+#: Table 2 condensed: optimization class → architectures it applies to
+#: (x86 = AMD X2 + Clovertown, N = Niagara, C = Cell). Entries marked
+#: "no-speedup" in the paper are listed as attempted-but-disabled.
+OPTIMIZATION_TABLE: dict[str, dict[str, str]] = {
+    "software_pipelining": {"x86": "yes", "niagara": "yes", "cell": "yes"},
+    "branchless": {"x86": "no-speedup", "niagara": "attempted",
+                   "cell": "n/a"},
+    "simdization": {"x86": "yes", "niagara": "n/a", "cell": "yes"},
+    "pointer_arithmetic": {"x86": "no-speedup", "niagara": "yes",
+                           "cell": "n/a"},
+    "prefetch_dma_values_indices": {"x86": "yes", "niagara": "yes",
+                                    "cell": "yes"},
+    "prefetch_dma_pointers_vectors": {"x86": "no", "niagara": "no",
+                                      "cell": "yes"},
+    "bcoo": {"x86": "yes", "niagara": "yes", "cell": "no"},
+    "16bit_indices": {"x86": "yes", "niagara": "yes", "cell": "yes"},
+    "32bit_indices": {"x86": "yes", "niagara": "yes", "cell": "yes"},
+    "register_blocking": {"x86": "yes", "niagara": "yes", "cell": "no"},
+    "cache_blocking": {"x86": "sparse", "niagara": "sparse",
+                       "cell": "dense"},
+    "tlb_blocking": {"x86": "yes", "niagara": "yes", "cell": "n/a"},
+    "threading": {"x86": "pthreads", "niagara": "pthreads",
+                  "cell": "libspe"},
+    "row_parallel": {"x86": "yes", "niagara": "yes", "cell": "yes"},
+    "numa_aware": {"x86": "yes", "niagara": "n/a", "cell": "no-speedup"},
+    "process_affinity": {"x86": "yes", "niagara": "yes", "cell": "yes"},
+    "memory_affinity": {"x86": "yes", "niagara": "n/a",
+                        "cell": "interleave"},
+}
+
+
+def arch_family(machine: Machine) -> str:
+    """Table 2 column for a machine."""
+    if machine.local_store_bytes is not None:
+        return "cell"
+    if machine.core.hw_threads > 1:
+        return "niagara"
+    return "x86"
+
+
+def optimization_config(
+    machine: Machine,
+    level: OptimizationLevel,
+    *,
+    parallel: bool = False,
+) -> OptimizationConfig:
+    """Concrete configuration for one ladder rung on one machine.
+
+    ``parallel=True`` selects the NUMA placement the paper's parallel
+    runs use: NUMA-aware on x86, page-interleave on the Cell blade
+    (§4.4), irrelevant elsewhere.
+    """
+    if not isinstance(level, OptimizationLevel):
+        raise TuningError(f"unknown optimization level {level!r}")
+    family = arch_family(machine)
+    if family == "cell":
+        # The paper's Cell implementation is the same at every rung:
+        # mandatory DMA, dense cache blocking, 2-byte indices, no RB.
+        policy = (
+            PlacementPolicy.INTERLEAVE
+            if parallel and machine.mem.numa
+            else PlacementPolicy.SINGLE_NODE
+        )
+        return OptimizationConfig(
+            label=f"cell-{level.value}",
+            sw_prefetch=True,           # DMA double buffering
+            register_blocking=False,
+            cache_blocking=True,
+            tlb_blocking=False,
+            index_compress=True,
+            allow_bcoo=False,
+            cell_dense_blocking=True,
+            variant=optimized_variant(machine.core),
+            policy=policy,
+            fill_order="pack",
+        )
+    naive = level is OptimizationLevel.NAIVE
+    rb = level in (OptimizationLevel.PF_RB, OptimizationLevel.PF_RB_CB,
+                   OptimizationLevel.FULL)
+    cb = level in (OptimizationLevel.PF_RB_CB, OptimizationLevel.FULL)
+    policy = PlacementPolicy.SINGLE_NODE
+    fill = "pack"
+    if parallel:
+        if machine.mem.numa:
+            policy = PlacementPolicy.NUMA_AWARE
+        fill = "spread" if machine.mem.numa else "pack"
+    return OptimizationConfig(
+        label=level.value,
+        sw_prefetch=not naive,
+        register_blocking=rb,
+        cache_blocking=cb,
+        tlb_blocking=cb and machine.tlb is not None,
+        index_compress=rb,
+        allow_bcoo=rb,
+        allow_gcsr=False,
+        cell_dense_blocking=False,
+        variant=KernelVariant() if naive else optimized_variant(machine.core),
+        policy=policy,
+        fill_order=fill,
+    )
+
+
+def ladder(machine: Machine) -> list[OptimizationLevel]:
+    """The serial optimization rungs shown for this machine in Fig 1."""
+    if arch_family(machine) == "cell":
+        return [OptimizationLevel.FULL]
+    return [
+        OptimizationLevel.NAIVE,
+        OptimizationLevel.PF,
+        OptimizationLevel.PF_RB,
+        OptimizationLevel.PF_RB_CB,
+    ]

@@ -1,0 +1,119 @@
+"""Optimization configuration and the executable plan object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TuningError
+from ..formats.base import IndexWidth, SparseFormat
+from ..formats.blocked import CacheBlock, CacheBlockedMatrix
+from ..formats.convert import coo_to_csr, to_bcoo, to_bcsr, to_gcsr
+from ..formats.coo import COOMatrix
+from ..machines.model import Machine, PlacementPolicy
+from ..parallel.partition import RowPartition
+from ..simulator.cpu import KernelVariant
+from ..simulator.traffic import PlanProfile
+from .heuristics import FormatChoice
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which optimizations are active (one rung of Figure 1's ladder)."""
+
+    label: str
+    sw_prefetch: bool = False
+    register_blocking: bool = False
+    cache_blocking: bool = False
+    tlb_blocking: bool = False
+    index_compress: bool = False
+    allow_bcoo: bool = False
+    allow_gcsr: bool = False
+    cell_dense_blocking: bool = False  #: the partially-optimized Cell path
+    #: Restrict register-block candidates (None = all power-of-two up to
+    #: 4x4). The OSKI baseline pins this to its profile-chosen blocking.
+    block_candidates: tuple[tuple[int, int], ...] | None = None
+    variant: KernelVariant = field(default_factory=KernelVariant)
+    policy: PlacementPolicy = PlacementPolicy.SINGLE_NODE
+    fill_order: str = "pack"
+
+
+@dataclass(frozen=True)
+class SpmvPlan:
+    """A fully decided SpMV execution: blocks, formats, threads.
+
+    ``profile`` feeds the simulator; ``choices`` (extent → format
+    decision) lets :meth:`materialize` build the real data structure so
+    the identical plan can also *execute* numerically.
+    """
+
+    machine: Machine
+    config: OptimizationConfig
+    profile: PlanProfile
+    partition: RowPartition
+    choices: tuple[tuple[tuple[int, int, int, int], FormatChoice], ...]
+
+    @property
+    def n_threads(self) -> int:
+        return self.profile.n_threads
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.profile.matrix_bytes
+
+    def materialize(self, coo: COOMatrix) -> SparseFormat:
+        """Build the actual optimized matrix this plan describes."""
+        if coo.shape != self.profile.shape:
+            raise TuningError(
+                f"matrix shape {coo.shape} does not match plan shape "
+                f"{self.profile.shape}"
+            )
+        blocks: list[CacheBlock] = []
+        for (r0, r1, c0, c1), choice in self.choices:
+            local = coo.submatrix(r0, r1, c0, c1)
+            if local.nnz_logical == 0:
+                continue
+            blocks.append(
+                CacheBlock(r0, r1, c0, c1, _build_format(local, choice))
+            )
+        return CacheBlockedMatrix(coo.shape, blocks)
+
+    def describe(self) -> dict:
+        """Human-readable plan summary."""
+        census: dict[str, int] = {}
+        for _, choice in self.choices:
+            key = f"{choice.format_name}-{choice.r}x{choice.c}-" \
+                  f"{choice.index_bytes * 8}bit"
+            census[key] = census.get(key, 0) + 1
+        return {
+            "machine": self.machine.name,
+            "config": self.config.label,
+            "n_threads": self.n_threads,
+            "n_blocks": len(self.choices),
+            "footprint_bytes": self.footprint_bytes,
+            "block_formats": census,
+            "imbalance": self.partition.imbalance,
+        }
+
+
+def _build_format(local: COOMatrix, choice: FormatChoice) -> SparseFormat:
+    """Materialize one block according to its heuristic choice."""
+    if choice.format_name == "csr":
+        return coo_to_csr(local, index_width=choice.index_width)
+    if choice.format_name == "gcsr":
+        return to_gcsr(local, index_width=choice.index_width)
+    if choice.format_name == "bcsr":
+        return to_bcsr(local, choice.r, choice.c,
+                       index_width=choice.index_width)
+    if choice.format_name == "bcoo":
+        return to_bcoo(local, choice.r, choice.c,
+                       index_width=choice.index_width)
+    raise TuningError(f"unknown format in choice: {choice.format_name!r}")
+
+
+def forced_index_width(
+    config: OptimizationConfig, span: int
+) -> IndexWidth:
+    """Index width a config permits for a given span."""
+    if config.index_compress and span <= IndexWidth.I16.max_span:
+        return IndexWidth.I16
+    return IndexWidth.I32

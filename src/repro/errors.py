@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the public API derives from :class:`ReproError`,
+so callers can catch library failures with a single except clause while
+still distinguishing the failure class when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MatrixFormatError(ReproError):
+    """A sparse matrix is structurally invalid or internally inconsistent.
+
+    Raised for out-of-range indices, unsorted/overlapping entries where a
+    format requires ordering, mismatched array lengths, or negative
+    dimensions.
+    """
+
+
+class IndexWidthError(MatrixFormatError):
+    """A matrix dimension does not fit in the requested index width.
+
+    The paper uses 16-bit indices only "when the matrix dimension is less
+    than 64k" (within a cache block); requesting 16-bit storage for a
+    larger span is a hard error rather than silent truncation.
+    """
+
+
+class ConversionError(MatrixFormatError):
+    """A format conversion was requested with incompatible parameters."""
+
+
+class KernelError(ReproError):
+    """No kernel is registered for the requested (format, variant) pair."""
+
+
+class MachineModelError(ReproError):
+    """A machine description is inconsistent (e.g. zero cores, bad cache)."""
+
+
+class SimulationError(ReproError):
+    """The performance simulator was driven with invalid inputs."""
+
+
+class PartitionError(ReproError):
+    """A parallel partition is infeasible (more parts than rows, etc.)."""
+
+
+class TuningError(ReproError):
+    """The optimizer could not produce a plan for the given inputs."""
+
+
+class IOFormatError(ReproError):
+    """A matrix file could not be parsed."""

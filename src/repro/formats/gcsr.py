@@ -1,0 +1,104 @@
+"""Generalized CSR (GCSR): CSR over non-empty rows only.
+
+The OSKI-style alternative to BCOO the paper mentions for matrices with
+many empty rows: store a row id alongside the pointer of each non-empty
+row so empty rows cost nothing (no pointer entry, no zero-length loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import POINTER_BYTES, VALUE_BYTES, as_f64, as_index, segment_sums
+from ..errors import MatrixFormatError
+from .base import IndexWidth, SparseFormat
+from .coo import COOMatrix
+from .index import pack_indices
+
+
+class GCSRMatrix(SparseFormat):
+    """CSR restricted to non-empty rows, with an explicit row-id array.
+
+    Parameters
+    ----------
+    shape : (int, int)
+    row_ids : array_like of int
+        Global indices of the non-empty rows, strictly ascending.
+    indptr : array_like of int, length ``len(row_ids) + 1``
+        Offsets into ``indices``/``data`` per stored row.
+    indices, data : array_like
+        Column indices and values, as in CSR.
+    index_width : IndexWidth
+        Width of column indices (row ids are stored 32-bit, matching the
+        4-bytes-per-row-pointer accounting of the paper).
+    """
+
+    format_name = "gcsr"
+
+    def __init__(self, shape, row_ids, indptr, indices, data,
+                 index_width: IndexWidth = IndexWidth.I32):
+        super().__init__(shape)
+        row_ids = as_index(row_ids)
+        indptr = as_index(indptr)
+        data = as_f64(data)
+        if len(indptr) != len(row_ids) + 1:
+            raise MatrixFormatError("indptr must have len(row_ids)+1 entries")
+        if len(row_ids):
+            if np.any(np.diff(row_ids) <= 0):
+                raise MatrixFormatError("row_ids must be strictly ascending")
+            if row_ids[0] < 0 or row_ids[-1] >= self.nrows:
+                raise MatrixFormatError("row_ids out of range")
+            if np.any(np.diff(indptr) <= 0):
+                raise MatrixFormatError(
+                    "GCSR rows must be non-empty (empty rows are omitted)"
+                )
+        if len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(data):
+            raise MatrixFormatError("indptr endpoints inconsistent")
+        if len(indices) != len(data):
+            raise MatrixFormatError("indices and data lengths differ")
+        self.row_ids = row_ids
+        self.indptr = indptr
+        self.indices = pack_indices(as_index(indices), index_width, self.ncols)
+        self.data = data
+        self.index_width = IndexWidth(index_width)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stored_rows(self) -> int:
+        return len(self.row_ids)
+
+    @property
+    def nnz_stored(self) -> int:
+        return len(self.data)
+
+    @property
+    def nnz_logical(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    def spmv(self, x, y=None):
+        x, y = self._check_spmv_args(x, y)
+        if self.nnz_stored == 0:
+            return y
+        products = self.data * x[self.indices]
+        sums = segment_sums(products, self.indptr[:-1], self.nnz_stored)
+        y[self.row_ids] += sums
+        return y
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        per_row = np.diff(self.indptr)
+        rows = np.repeat(self.row_ids, per_row)
+        return COOMatrix(
+            self.shape, rows, self.indices.astype(np.int64), self.data,
+            dedupe=False,
+        )
+
+    def footprint_bytes(self) -> int:
+        """values + column indices + (pointer and row id) per stored row."""
+        return (
+            VALUE_BYTES * self.nnz_stored
+            + int(self.index_width) * self.nnz_stored
+            + POINTER_BYTES * (self.n_stored_rows + 1)  # pointers
+            + POINTER_BYTES * self.n_stored_rows        # explicit row ids
+        )

@@ -1,0 +1,140 @@
+"""Symmetric CSR storage (the paper's flagged bandwidth reduction).
+
+The conclusions call out symmetry as a key algorithmic
+bandwidth-reduction technique ("software designers should consider
+bandwidth reduction as a key algorithmic optimization (e.g., symmetry,
+advanced register blocking, Ak methods)"), and §2.1 notes OSKI supports
+it while the paper's own experiments do not exploit it. This module
+implements it: only the lower triangle (plus diagonal) is stored, and
+each off-diagonal entry contributes both ``y_i += a·x_j`` and
+``y_j += a·x_i`` — halving matrix traffic at the cost of a scattered
+second update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import POINTER_BYTES, VALUE_BYTES, as_f64, as_index, segment_sums
+from ..errors import MatrixFormatError
+from .base import IndexWidth, SparseFormat
+from .coo import COOMatrix
+from .index import pack_indices
+
+
+class SymmetricCSRMatrix(SparseFormat):
+    """CSR over the lower triangle of a symmetric matrix.
+
+    Parameters
+    ----------
+    n : int
+        Dimension (symmetric matrices are square).
+    indptr, indices, data : array_like
+        CSR arrays of the lower triangle **including** the diagonal;
+        every stored entry must satisfy ``col <= row``.
+    index_width : IndexWidth
+    """
+
+    format_name = "symcsr"
+
+    def __init__(self, n, indptr, indices, data,
+                 index_width: IndexWidth = IndexWidth.I32):
+        super().__init__((n, n))
+        indptr = as_index(indptr)
+        data = as_f64(data)
+        indices = as_index(indices)
+        if len(indptr) != n + 1 or (n >= 0 and (len(indptr) == 0 or
+                                                indptr[0] != 0)):
+            raise MatrixFormatError("bad indptr for symmetric CSR")
+        if indptr[-1] != len(data) or len(indices) != len(data):
+            raise MatrixFormatError("array lengths inconsistent")
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        if len(indices) and (indices > rows).any():
+            raise MatrixFormatError(
+                "symmetric CSR must store the lower triangle only"
+            )
+        self.indptr = indptr
+        self.indices = pack_indices(indices, index_width, max(n, 1))
+        self.data = data
+        self.index_width = IndexWidth(index_width)
+        self._rows = rows
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, tol: float = 0.0,
+                 index_width: IndexWidth | None = None
+                 ) -> "SymmetricCSRMatrix":
+        """Build from a full symmetric COO matrix.
+
+        Raises
+        ------
+        MatrixFormatError
+            If the matrix is not square or not symmetric within ``tol``.
+        """
+        m, n = coo.shape
+        if m != n:
+            raise MatrixFormatError("symmetric storage needs square")
+        dense_check = coo.transpose()
+        # Symmetry check without densifying: sorted triplets must match.
+        if (
+            len(dense_check.val) != len(coo.val)
+            or not np.array_equal(dense_check.row, coo.row)
+            or not np.array_equal(dense_check.col, coo.col)
+            or not np.allclose(dense_check.val, coo.val, atol=tol,
+                               rtol=tol)
+        ):
+            raise MatrixFormatError("matrix is not symmetric")
+        keep = coo.col <= coo.row
+        row, col, val = coo.row[keep], coo.col[keep], coo.val[keep]
+        counts = np.bincount(row, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if index_width is None:
+            index_width = (
+                IndexWidth.I16 if n <= IndexWidth.I16.max_span
+                else IndexWidth.I32
+            )
+        return cls(n, indptr, col, val, index_width=index_width)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz_stored(self) -> int:
+        return len(self.data)
+
+    @property
+    def nnz_logical(self) -> int:
+        """Nonzeros of the *full* matrix (off-diagonal entries count
+        twice — they exist on both sides)."""
+        diag = int((self.indices.astype(np.int64) == self._rows).sum())
+        return 2 * (len(self.data) - diag) + diag
+
+    def spmv(self, x, y=None):
+        """``y ← y + A·x`` doing both triangles from one stored copy."""
+        x, y = self._check_spmv_args(x, y)
+        if self.nnz_stored == 0:
+            return y
+        cols = self.indices.astype(np.int64)
+        products = self.data * x[cols]
+        # Lower-triangle contribution: row-wise segmented sums.
+        y += segment_sums(products, self.indptr[:-1], self.nnz_stored)
+        # Mirrored upper-triangle contribution: scatter, excluding the
+        # diagonal (it must not be applied twice).
+        off = cols != self._rows
+        if off.any():
+            np.add.at(y, cols[off], self.data[off] * x[self._rows[off]])
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        cols = self.indices.astype(np.int64)
+        off = cols != self._rows
+        row = np.concatenate([self._rows, cols[off]])
+        col = np.concatenate([cols, self._rows[off]])
+        val = np.concatenate([self.data, self.data[off]])
+        return COOMatrix(self.shape, row, col, val, dedupe=False)
+
+    def footprint_bytes(self) -> int:
+        return (
+            VALUE_BYTES * self.nnz_stored
+            + int(self.index_width) * self.nnz_stored
+            + POINTER_BYTES * (self.nrows + 1)
+        )

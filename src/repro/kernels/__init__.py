@@ -1,0 +1,25 @@
+"""SpMV kernels and the kernel generator.
+
+The paper drove its optimization search with "a Perl-based code
+generator that produces the SpMV kernel, using the subset of
+optimizations appropriate for each underlying system". The analogue
+here is :mod:`repro.kernels.generator`: it emits specialized Python
+source for a given (format, r, c) variant — fully unrolled tile
+arithmetic instead of generic einsum — compiles it with ``exec`` and
+caches the callable. :mod:`repro.kernels.reference` holds the
+obviously-correct implementations everything is validated against.
+"""
+
+from .generator import generate_kernel_source, get_generated_kernel
+from .reference import spmv_dense_reference, spmv_reference
+from .registry import available_kernels, get_kernel, register_kernel
+
+__all__ = [
+    "available_kernels",
+    "generate_kernel_source",
+    "get_generated_kernel",
+    "get_kernel",
+    "register_kernel",
+    "spmv_dense_reference",
+    "spmv_reference",
+]

@@ -1,0 +1,30 @@
+"""Reference SpMV implementations — slow, transparent, trusted.
+
+Every optimized kernel and format in the library is validated against
+these in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+
+
+def spmv_reference(coo: COOMatrix, x: np.ndarray,
+                   y: np.ndarray | None = None) -> np.ndarray:
+    """``y ← y + A·x`` as an explicit per-entry loop (tests only)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (coo.ncols,):
+        raise ValueError(f"x has shape {x.shape}, expected ({coo.ncols},)")
+    if y is None:
+        y = np.zeros(coo.nrows, dtype=np.float64)
+    for i, j, v in zip(coo.row.tolist(), coo.col.tolist(),
+                       coo.val.tolist()):
+        y[i] += v * x[j]
+    return y
+
+
+def spmv_dense_reference(coo: COOMatrix, x: np.ndarray) -> np.ndarray:
+    """``A·x`` through a densified matrix (small inputs only)."""
+    return coo.toarray() @ np.asarray(x, dtype=np.float64)

@@ -1,0 +1,39 @@
+"""Machine models of the paper's five evaluated systems (Table 1).
+
+Each model is a frozen dataclass tree describing cores, caches, TLBs,
+memory system, and power — the inputs the performance simulator needs.
+Calibration constants (memory latency, per-core memory-level
+parallelism, DRAM protocol efficiency) are documented inline in each
+machine module with the Table 4 measurement they reproduce.
+"""
+
+from .amd_x2 import amd_x2
+from .cell import cell_blade, cell_ps3
+from .clovertown import clovertown
+from .model import (
+    CacheLevel,
+    CoreArch,
+    Machine,
+    MemorySystem,
+    PlacementPolicy,
+    TLBConfig,
+)
+from .niagara import niagara
+from .registry import all_machines, get_machine, machine_names
+
+__all__ = [
+    "CacheLevel",
+    "CoreArch",
+    "Machine",
+    "MemorySystem",
+    "PlacementPolicy",
+    "TLBConfig",
+    "all_machines",
+    "amd_x2",
+    "cell_blade",
+    "cell_ps3",
+    "clovertown",
+    "get_machine",
+    "machine_names",
+    "niagara",
+]

@@ -1,0 +1,70 @@
+"""AMD Opteron X2 (SunFire X2200 M2): dual-socket, dual-core, 2.2 GHz.
+
+Paper §3.1: 3-wide x86 decode, half-pumped 128b SSE (2 DP flops/cycle →
+4.4 Gflop/s/core), 64 KB L1, 1 MB/core victim L2, dual-channel DDR2-667
+per socket (10.6 GB/s), cache-coherent HyperTransport between sockets —
+a true NUMA machine.
+
+Calibration (reproduces Table 4's AMD X2 row):
+* ``latency_s = 95 ns`` and ``mem_concurrency_per_thread = 8`` lines →
+  single-core demand 8·64 B/95 ns ≈ 5.4 GB/s (measured: 5.40, 51 %).
+* ``stream_efficiency = 0.62`` → socket ceiling 6.6 GB/s (measured full
+  socket: 6.61, 62 % — two cores saturate what one core nearly can).
+* ``numa_aware_scaling = 0.95`` → system 12.5 GB/s (measured: 12.55).
+"""
+
+from __future__ import annotations
+
+from .model import CacheLevel, CoreArch, Machine, MemorySystem, TLBConfig
+
+GB = 1e9
+
+amd_x2 = Machine(
+    name="AMD X2",
+    sockets=2,
+    cores_per_socket=2,
+    core=CoreArch(
+        name="Opteron 2214",
+        clock_hz=2.2e9,
+        issue_width=3,
+        out_of_order=True,
+        dp_flops_per_cycle=2.0,      # half-pumped SSE: 4.4 Gflop/s/core
+        simd_width_dp=2,
+        hw_threads=1,
+        mem_concurrency_per_thread=8.0,
+        mem_concurrency_core_cap=8.0,
+        branch_miss_penalty_cycles=12.0,
+        load_ports=2.0,              # K8: two 64b loads per cycle
+        has_fma=False,
+    ),
+    cache_levels=(
+        CacheLevel("L1", 64 * 1024, 64, 2, 3.0),
+        # 1 MB 4-way victim cache per core; hardware prefetch fills here,
+        # software prefetch bypasses straight to L1 (§4.1).
+        CacheLevel("L2", 1024 * 1024, 64, 4, 12.0, victim=True),
+    ),
+    # Opteron L1 DTLB: 32 entries + 512-entry L2 TLB; the paper blocks
+    # for the L1 TLB ("In the case of the Opteron we found it beneficial
+    # to block for the L1 TLB").
+    tlb=TLBConfig(entries=32, page_bytes=4096, miss_penalty_cycles=25.0),
+    mem=MemorySystem(
+        dram_type="DDR2-667 (2x128b)",
+        peak_bw_per_socket=10.66 * GB,
+        latency_s=95e-9,
+        stream_efficiency=0.62,
+        transfer_bytes=64,
+        numa=True,
+        numa_aware_scaling=0.95,
+        interleave_scaling=0.62,   # pages split over HT halve locality
+        coherency_scaling=1.0,
+        hw_prefetch=True,
+        # Hardware prefetch lands in the victim L2 (§3.1), leaving L2
+        # latency exposed; software prefetch into L1 closes the gap —
+        # "prefetching undoubtedly helped" the 1.4x serial speedup.
+        hw_prefetch_effectiveness=0.60,
+        sw_prefetch_target="L1",
+    ),
+    watts_sockets=190.0,
+    watts_system=275.0,
+    notes="dual-socket dual-core Opteron 2214; NUMA via HyperTransport",
+)

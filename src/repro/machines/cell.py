@@ -1,0 +1,91 @@
+"""STI Cell: PS3 (1 socket × 6 SPEs) and QS20 blade (2 × 8 SPEs), 3.2 GHz.
+
+Paper §3.4: heterogeneous design — one PPE (control only; not modeled)
+plus SPEs with 256 KB software-managed local stores fed by asynchronous
+DMA engines instead of caches. Each SPE is dual-issue (one compute slot,
+one load/store/permute/branch slot) with half-pumped, partially
+pipelined DP: one 2-wide DP SIMD instruction every 7 cycles → 1.83
+Gflop/s/SPE. XDR memory delivers 25.6 GB/s per socket.
+
+Calibration (reproduces Table 4's Cell rows):
+* ``mem_concurrency_per_thread = 16`` outstanding 128-byte DMA transfers
+  at ``latency_s = 630 ns`` effective queue depth → per-SPE demand
+  16·128 B/630 ns ≈ 3.25 GB/s (measured: 3.25, 13 % — one SPE cannot
+  fill the XDR pipe alone).
+* ``stream_efficiency = 0.91`` → socket ceiling 23.3 GB/s; 8 SPEs demand
+  26 GB/s and saturate it (measured: 23.2, "an impressive 91 % of the
+  theoretical potential" thanks to double-buffered DMA).
+* 6 SPEs (PS3) demand 19.5 GB/s < ceiling → PS3 "is actually not memory
+  bound" (measured 18.35 GB/s, 72 %).
+* ``interleave_scaling = 0.68`` → blade with numactl page interleave
+  sustains 31.5 GB/s of the 46.6 GB/s two-socket ceiling (measured:
+  31.50 — "sub-linear Cell scaling was due to page interleaving between
+  nodes"). A NUMA-aware version would approach ``numa_aware_scaling``.
+"""
+
+from __future__ import annotations
+
+from .model import CoreArch, Machine, MemorySystem
+
+GB = 1e9
+
+_spe = CoreArch(
+    name="Cell SPE",
+    clock_hz=3.2e9,
+    issue_width=2,                 # dual issue: 1 compute + 1 ls/branch
+    out_of_order=False,
+    dp_flops_per_cycle=4.0 / 7.0,  # 2-wide DP FMA every 7 cycles
+    simd_width_dp=2,
+    hw_threads=1,
+    mem_concurrency_per_thread=16.0,
+    mem_concurrency_core_cap=16.0,
+    branch_miss_penalty_cycles=18.0,  # no branch predictor; hint misses
+    dp_stall_cycles=7.0,
+    load_ports=1.0,                # the load/store/permute/branch slot
+    has_fma=True,              # SPE DP FMA
+)
+
+_xdr = dict(
+    dram_type="XDR (1x128b)",
+    peak_bw_per_socket=25.6 * GB,
+    latency_s=630e-9,              # effective DMA round-trip / queue slot
+    stream_efficiency=0.91,
+    transfer_bytes=128,
+    hw_prefetch=False,
+    sw_prefetch_target="none",
+    dma=True,
+)
+
+cell_ps3 = Machine(
+    name="Cell (PS3)",
+    sockets=1,
+    cores_per_socket=6,            # 6 SPEs available to applications
+    core=_spe,
+    cache_levels=(),
+    tlb=None,
+    mem=MemorySystem(numa=False, **_xdr),
+    local_store_bytes=256 * 1024,
+    watts_sockets=100.0,
+    watts_system=200.0,            # vendor estimate (Table 1 footnote)
+    notes="single-socket PS3 Cell; 6 usable SPEs, 11 Gflop/s DP peak",
+)
+
+cell_blade = Machine(
+    name="Cell Blade",
+    sockets=2,
+    cores_per_socket=8,
+    core=_spe,
+    cache_levels=(),
+    tlb=None,
+    mem=MemorySystem(
+        numa=True,
+        numa_aware_scaling=0.95,
+        interleave_scaling=0.68,
+        coherency_scaling=1.0,
+        **_xdr,
+    ),
+    local_store_bytes=256 * 1024,
+    watts_sockets=200.0,
+    watts_system=315.0,
+    notes="QS20 blade: dual-socket, 8 SPEs each, 20 GB/s coherent link",
+)

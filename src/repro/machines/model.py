@@ -1,0 +1,274 @@
+"""Dataclass schema for multicore machine descriptions.
+
+The schema captures exactly the architectural features §3 of the paper
+identifies as performance-relevant for SpMV: core microarchitecture
+(issue width, in-order vs out-of-order, SIMD, DP throughput, hardware
+threading), the cache/TLB hierarchy (sizes, line lengths, sharing,
+victim behavior), the memory system (peak and sustainable bandwidth,
+latency, NUMA topology, prefetch/DMA capabilities), and power.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import MachineModelError
+
+
+class PlacementPolicy(enum.Enum):
+    """How data pages are placed across NUMA nodes.
+
+    The paper uses ``numactl``: node-bound placement for ≤1 socket runs,
+    page interleaving for full-blade Cell runs, and NUMA-aware explicit
+    per-thread placement for the optimized x86 code.
+    """
+
+    NUMA_AWARE = "numa_aware"     #: each thread's data on its own node
+    INTERLEAVE = "interleave"     #: pages round-robined across nodes
+    SINGLE_NODE = "single_node"   #: everything on node 0
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of a hardware-managed cache hierarchy."""
+
+    name: str                 #: e.g. ``"L1"``, ``"L2"``
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    latency_cycles: float     #: load-to-use latency
+    shared_by_cores: int = 1  #: cores sharing one instance of this cache
+    victim: bool = False      #: Opteron-style victim cache (fills on evict)
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise MachineModelError(f"{self.name}: non-positive cache size")
+        if self.size_bytes % self.line_bytes:
+            raise MachineModelError(
+                f"{self.name}: size not a multiple of line size"
+            )
+        if self.associativity < 1 or self.shared_by_cores < 1:
+            raise MachineModelError(f"{self.name}: bad assoc/sharing")
+        n_lines = self.size_bytes // self.line_bytes
+        if n_lines % self.associativity:
+            raise MachineModelError(
+                f"{self.name}: lines not divisible by associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Data-TLB parameters used by the TLB-blocking heuristic."""
+
+    entries: int
+    page_bytes: int
+    miss_penalty_cycles: float
+
+    def __post_init__(self):
+        if self.entries < 1 or self.page_bytes < 1:
+            raise MachineModelError("TLB must have entries and a page size")
+
+    @property
+    def reach_bytes(self) -> int:
+        """Bytes addressable without a TLB miss."""
+        return self.entries * self.page_bytes
+
+
+@dataclass(frozen=True)
+class CoreArch:
+    """Per-core microarchitecture parameters."""
+
+    name: str
+    clock_hz: float
+    issue_width: int            #: micro-ops issued per cycle (sustained)
+    out_of_order: bool
+    dp_flops_per_cycle: float   #: peak double-precision flops per cycle
+    simd_width_dp: int          #: doubles per SIMD operation (1 = scalar)
+    hw_threads: int             #: hardware thread contexts (CMT)
+    #: Outstanding cache-line requests one thread can keep in flight
+    #: (includes the effect of hardware prefetch streams where present).
+    mem_concurrency_per_thread: float
+    #: Cap on outstanding line requests per core across all its threads
+    #: (MSHR / load-queue limit; Niagara's is what throttles 4-thread
+    #: scaling).
+    mem_concurrency_core_cap: float
+    branch_miss_penalty_cycles: float
+    #: Cycles a DP operation stalls the pipe (Cell SPE: one 2-wide DP
+    #: SIMD instruction every 7 cycles).
+    dp_stall_cycles: float = 0.0
+    #: Latency of a dependent multiply chain exposed on in-order cores
+    #: when the kernel is not software pipelined (the paper's "10 cycles
+    #: for multiply latency" on Niagara). Hidden entirely by OoO cores.
+    mul_latency_cycles: float = 4.0
+    #: Loads issued per cycle (the binding port for gather-heavy SpMV).
+    load_ports: float = 1.0
+    #: Fused multiply-add: one op per mul+add pair (Cell SPE yes, SSE2
+    #: and Niagara integer units no — mul and add are separate ops).
+    has_fma: bool = False
+    #: Niagara T1: the shared FPU is useless for SpMV, so the paper uses
+    #: 64-bit integer ops as a stand-in for the Niagara-2's pipelined FPU.
+    flop_is_integer_proxy: bool = False
+
+    def __post_init__(self):
+        if self.clock_hz <= 0:
+            raise MachineModelError(f"{self.name}: clock must be positive")
+        if self.issue_width < 1 or self.hw_threads < 1:
+            raise MachineModelError(f"{self.name}: bad issue/threads")
+        if self.dp_flops_per_cycle <= 0 or self.simd_width_dp < 1:
+            raise MachineModelError(f"{self.name}: bad FP throughput")
+        if self.mem_concurrency_per_thread <= 0:
+            raise MachineModelError(f"{self.name}: bad memory concurrency")
+
+    @property
+    def peak_dp_gflops(self) -> float:
+        return self.dp_flops_per_cycle * self.clock_hz / 1e9
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Socket-level memory system with NUMA aggregation parameters."""
+
+    dram_type: str
+    #: Peak (advertised) DRAM bandwidth per socket, bytes/s.
+    peak_bw_per_socket: float
+    #: Average memory latency seen by a demand miss, seconds.
+    latency_s: float
+    #: Fraction of peak a perfectly streaming workload sustains
+    #: (DRAM protocol overheads: activation, read/write turnaround;
+    #: FSB arbitration on Clovertown; ~0.9 for Cell's deep DMA queues).
+    stream_efficiency: float
+    #: Cache line size used for memory-level-parallelism accounting
+    #: (useful bytes moved per outstanding request).
+    transfer_bytes: int
+    numa: bool
+    #: Multi-socket scaling of sustainable bandwidth when placement is
+    #: NUMA-aware (1.0 = perfect; AMD measures 0.95 via HT snoops).
+    numa_aware_scaling: float = 1.0
+    #: Multi-socket scaling under page interleaving (Cell blade: 0.68,
+    #: the paper's "sub-linear Cell scaling was due to page interleaving").
+    interleave_scaling: float = 0.7
+    #: Multi-socket scaling of a bus-snooping FSB system (Clovertown:
+    #: measured 8.86 GB/s of a 13.1 GB/s two-FSB aggregate → 0.67).
+    coherency_scaling: float = 1.0
+    hw_prefetch: bool = False
+    #: Fraction of a core's full memory concurrency reached *without*
+    #: software prefetch (i.e. what the hardware prefetcher alone
+    #: sustains on SpMV's mixed streaming+gather pattern). Software
+    #: prefetch to L1 restores the full value; the gap is the PF bar in
+    #: Figure 1 (large on AMD, small on Clovertown, nil on Niagara/Cell).
+    hw_prefetch_effectiveness: float = 1.0
+    #: Where software prefetch lands: ``"L1"``, ``"L2"``, or ``"none"``.
+    sw_prefetch_target: str = "none"
+    dma: bool = False
+
+    def __post_init__(self):
+        if self.peak_bw_per_socket <= 0 or self.latency_s <= 0:
+            raise MachineModelError("memory system needs bw and latency")
+        if not (0 < self.stream_efficiency <= 1):
+            raise MachineModelError("stream_efficiency must be in (0, 1]")
+        if self.sw_prefetch_target not in ("L1", "L2", "none"):
+            raise MachineModelError(
+                f"bad sw_prefetch_target {self.sw_prefetch_target!r}"
+            )
+
+    @property
+    def sustained_bw_per_socket(self) -> float:
+        """Socket-level sustainable bandwidth ceiling, bytes/s."""
+        return self.peak_bw_per_socket * self.stream_efficiency
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete system: sockets × cores × threads plus memory & power."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    core: CoreArch
+    cache_levels: tuple[CacheLevel, ...]
+    tlb: TLBConfig | None
+    mem: MemorySystem
+    #: Cell local store per SPE (None for cache-based machines).
+    local_store_bytes: int | None = None
+    watts_sockets: float = 0.0
+    watts_system: float = 0.0
+    notes: str = ""
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise MachineModelError(f"{self.name}: needs >=1 socket/core")
+        for cl in self.cache_levels:
+            if cl.shared_by_cores > self.cores_per_socket:
+                raise MachineModelError(
+                    f"{self.name}: cache {cl.name} shared by more cores "
+                    "than a socket has"
+                )
+        if self.local_store_bytes is not None and self.cache_levels:
+            raise MachineModelError(
+                f"{self.name}: local-store machines have no caches"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def n_threads(self) -> int:
+        return self.n_cores * self.core.hw_threads
+
+    @property
+    def peak_dp_gflops(self) -> float:
+        """Full-system peak (Table 1's 'DP Gflop/s' row)."""
+        return self.n_cores * self.core.peak_dp_gflops
+
+    @property
+    def peak_bw(self) -> float:
+        """Full-system peak DRAM bandwidth, bytes/s."""
+        return self.sockets * self.mem.peak_bw_per_socket
+
+    @property
+    def flop_byte_ratio(self) -> float:
+        """Table 1's 'System Flop:Byte ratio'."""
+        return self.peak_dp_gflops * 1e9 / self.peak_bw
+
+    @property
+    def last_level_cache(self) -> CacheLevel | None:
+        return self.cache_levels[-1] if self.cache_levels else None
+
+    @property
+    def total_llc_bytes(self) -> int:
+        """Aggregate last-level cache across the whole system — the
+        quantity behind the Economics superlinear effect."""
+        llc = self.last_level_cache
+        if llc is None:
+            return 0
+        per_socket = (
+            self.cores_per_socket // llc.shared_by_cores
+        ) * llc.size_bytes
+        return per_socket * self.sockets
+
+    def cache_for_core(self, level: int) -> CacheLevel:
+        return self.cache_levels[level]
+
+    def describe(self) -> dict:
+        """Table 1 row for this machine."""
+        return {
+            "name": self.name,
+            "sockets": self.sockets,
+            "cores_per_socket": self.cores_per_socket,
+            "threads_per_core": self.core.hw_threads,
+            "clock_ghz": self.core.clock_hz / 1e9,
+            "dp_gflops_system": self.peak_dp_gflops,
+            "dram": self.mem.dram_type,
+            "dram_gbs": self.peak_bw / 1e9,
+            "flop_byte": self.flop_byte_ratio,
+            "llc_mb_total": self.total_llc_bytes / 2**20,
+            "watts_sockets": self.watts_sockets,
+            "watts_system": self.watts_system,
+        }

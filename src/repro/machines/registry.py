@@ -1,0 +1,36 @@
+"""Registry of the paper's evaluated machines."""
+
+from __future__ import annotations
+
+from ..errors import MachineModelError
+from .amd_x2 import amd_x2
+from .cell import cell_blade, cell_ps3
+from .clovertown import clovertown
+from .model import Machine
+from .niagara import niagara
+
+#: All five systems, in Table 1 column order.
+_MACHINES: tuple[Machine, ...] = (
+    amd_x2, clovertown, niagara, cell_ps3, cell_blade
+)
+
+_BY_NAME = {m.name: m for m in _MACHINES}
+
+
+def machine_names() -> list[str]:
+    """Names of the evaluated machines, Table 1 order."""
+    return [m.name for m in _MACHINES]
+
+
+def all_machines() -> tuple[Machine, ...]:
+    return _MACHINES
+
+
+def get_machine(name: str) -> Machine:
+    """Look up a machine model by its Table 1 name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise MachineModelError(
+            f"unknown machine {name!r}; choose from {machine_names()}"
+        ) from None

@@ -1,0 +1,34 @@
+"""Dense matrix stored in sparse format — the bandwidth-ceiling probe.
+
+The paper's Table 4 uses a 2K×2K dense matrix in sparse format as "the
+best case for the memory system": arbitrary register blocks without fill,
+long-running inner loops, contiguous and highly reused source-vector
+access. Its measured rate defines each platform's peak effective
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+
+
+def dense_in_sparse(n: int = 2048, seed: int = 0) -> COOMatrix:
+    """A fully dense ``n × n`` matrix represented as sparse triplets.
+
+    Parameters
+    ----------
+    n : int
+        Dimension; the paper uses 2K (4M nonzeros).
+    seed : int
+        RNG seed for the values (structure is deterministic).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    row = np.repeat(np.arange(n, dtype=np.int64), n)
+    col = np.tile(np.arange(n, dtype=np.int64), n)
+    val = rng.standard_normal(n * n)
+    # Already sorted row-major and duplicate-free by construction.
+    return COOMatrix((n, n), row, col, val, dedupe=False)

@@ -1,0 +1,133 @@
+"""Structural statistics of sparse matrices.
+
+These are the quantities §5.1 of the paper reasons with when predicting
+performance from structure: nonzeros per row (inner-loop length), empty
+rows (wasted CSR pointers), diagonal concentration (source locality),
+aspect ratio (cache-blocking pressure), and block fill ratios (register
+blocking viability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import ceil_div
+from ..formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of one sparse matrix."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    nnz_per_row_mean: float
+    nnz_per_row_min: int
+    nnz_per_row_max: int
+    nnz_per_row_std: float
+    empty_rows: int
+    density: float
+    #: Mean |i - j·nrows/ncols| over nonzeros, normalized by nrows —
+    #: 0 for a diagonal matrix, ~0.33 for uniform scatter.
+    diag_spread: float
+    #: Fraction of nonzeros within ±1% of the (scaled) diagonal.
+    diag_concentration: float
+    #: Fill ratio (stored/logical) for each power-of-two register block.
+    block_fill: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def aspect_ratio(self) -> float:
+        return self.ncols / max(self.nrows, 1)
+
+    def best_block(self) -> tuple[int, int]:
+        """Register block with the lowest fill ratio (ties → largest area)."""
+        if not self.block_fill:
+            return (1, 1)
+        return min(self.block_fill, key=lambda rc: (self.block_fill[rc],
+                                                    -rc[0] * rc[1]))
+
+
+def compute_stats(
+    coo: COOMatrix,
+    *,
+    block_candidates: tuple[tuple[int, int], ...] = ((1, 1), (2, 2), (4, 4),
+                                                     (1, 4), (4, 1), (2, 4),
+                                                     (4, 2), (1, 2), (2, 1)),
+) -> MatrixStats:
+    """Compute :class:`MatrixStats` for a matrix (vectorized, one pass per
+    block candidate)."""
+    m, n = coo.shape
+    nnz = coo.nnz_logical
+    counts = coo.row_counts()
+    if m:
+        mean = float(counts.mean())
+        std = float(counts.std())
+        cmin, cmax = int(counts.min()), int(counts.max())
+        empty = int((counts == 0).sum())
+    else:
+        mean = std = 0.0
+        cmin = cmax = empty = 0
+    density = nnz / (m * n) if m and n else 0.0
+    if nnz:
+        scaled_col = coo.col * (m / max(n, 1))
+        dist = np.abs(coo.row - scaled_col)
+        diag_spread = float(dist.mean() / max(m, 1))
+        diag_conc = float((dist <= 0.01 * max(m, 1)).mean())
+    else:
+        diag_spread = 0.0
+        diag_conc = 0.0
+    fills: dict[tuple[int, int], float] = {}
+    for (r, c) in block_candidates:
+        if nnz == 0:
+            fills[(r, c)] = 1.0
+            continue
+        n_bcols = ceil_div(max(n, 1), c)
+        key = (coo.row // r) * n_bcols + coo.col // c
+        ntiles = len(np.unique(key))
+        fills[(r, c)] = ntiles * r * c / nnz
+    return MatrixStats(
+        nrows=m, ncols=n, nnz=nnz,
+        nnz_per_row_mean=mean, nnz_per_row_min=cmin, nnz_per_row_max=cmax,
+        nnz_per_row_std=std, empty_rows=empty, density=density,
+        diag_spread=diag_spread, diag_concentration=diag_conc,
+        block_fill=fills,
+    )
+
+
+def nnz_per_row_per_cache_block(
+    coo: COOMatrix, cols_per_block: int
+) -> float:
+    """Average nonzeros per row per cache block for a fixed column span.
+
+    §5.1 uses this (with 17K columns per block) to predict that
+    FEM/Accelerator degenerates to ~3 nnz/row/cacheblock and will perform
+    poorly on Cell and on cache-blocked x86 code.
+    """
+    if coo.nnz_logical == 0 or coo.nrows == 0:
+        return 0.0
+    block = coo.col // max(cols_per_block, 1)
+    key = coo.row * (int(block.max()) + 1 if len(block) else 1) + block
+    # Each distinct (row, block) pair is one inner-loop instance.
+    n_segments = len(np.unique(key))
+    return coo.nnz_logical / n_segments
+
+
+def spyplot_grid(coo: COOMatrix, grid: int = 64) -> np.ndarray:
+    """Downsampled nonzero-density image (text spyplot substitute).
+
+    Returns a ``grid × grid`` float array with the fraction of each
+    cell's slots occupied — used by reports to visualize structure the
+    way Table 3's spyplots do.
+    """
+    m, n = coo.shape
+    out = np.zeros((grid, grid), dtype=np.float64)
+    if coo.nnz_logical == 0 or m == 0 or n == 0:
+        return out
+    gi = np.minimum((coo.row * grid) // max(m, 1), grid - 1)
+    gj = np.minimum((coo.col * grid) // max(n, 1), grid - 1)
+    np.add.at(out, (gi, gj), 1.0)
+    cell = (m / grid) * (n / grid)
+    return np.minimum(out / max(cell, 1e-12), 1.0)

@@ -1,0 +1,33 @@
+"""Thread-level parallelization of SpMV.
+
+Implements the paper's §4.3 toolkit: row partitioning statically
+balanced by nonzeros (the strategy the paper exploits), column
+partitioning and a segmented-scan decomposition (described as future
+work — implemented here), NUMA-aware block-to-node assignment, and a
+real shared-memory multiprocessing backend for native execution on the
+host machine.
+"""
+
+from .column import column_parallel_spmv, column_partition_traffic_factor
+from .numa import NumaAssignment, assign_numa
+from .partition import (
+    RowPartition,
+    partition_rows_balanced,
+    partition_rows_equal,
+    partition_cols_balanced,
+)
+from .scan import segmented_scan_spmv
+from .native import native_parallel_spmv
+
+__all__ = [
+    "NumaAssignment",
+    "RowPartition",
+    "assign_numa",
+    "column_parallel_spmv",
+    "column_partition_traffic_factor",
+    "native_parallel_spmv",
+    "partition_cols_balanced",
+    "partition_rows_balanced",
+    "partition_rows_equal",
+    "segmented_scan_spmv",
+]

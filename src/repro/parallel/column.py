@@ -1,0 +1,84 @@
+"""Column-partitioned parallel SpMV (paper §4.3's second strategy).
+
+"Column partitioning clearly requires explicitly blocking the matrix"
+— each worker owns a column slab and the slice of the source vector
+that feeds it, computes a *partial* destination vector, and the partial
+vectors are reduced at the end. The paper describes but does not
+exploit this decomposition; it is implemented here both as a real
+kernel and as a plan transformation for the simulator.
+
+Trade-off vs row partitioning: perfect source-vector locality (each
+worker touches only its x slab — ideal on NUMA) at the price of an
+O(threads · nrows) reduction and y traffic multiplied by the number of
+parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..formats.coo import COOMatrix
+from .partition import RowPartition, partition_cols_balanced
+
+
+def split_cols(coo: COOMatrix, part: RowPartition) -> list[COOMatrix]:
+    """Materialize each column slab (global rows, local columns)."""
+    out = []
+    for c0, c1 in part.ranges():
+        out.append(coo.submatrix(0, coo.nrows, c0, c1))
+    return out
+
+
+def column_parallel_spmv(
+    coo: COOMatrix,
+    x: np.ndarray,
+    *,
+    n_parts: int,
+    y: np.ndarray | None = None,
+) -> np.ndarray:
+    """``y ← y + A·x`` by column slabs with a final reduction.
+
+    Executes the slabs sequentially (this host is the model; the
+    decomposition is the point): each slab multiplies against its x
+    slice into a private partial vector, then partials are summed —
+    exactly the dataflow a threaded column-parallel implementation has,
+    so the numerics (including the reduction order) are faithful.
+    """
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (coo.ncols,):
+        raise ValueError(f"x has shape {x.shape}, expected "
+                         f"({coo.ncols},)")
+    n_parts = min(n_parts, max(coo.ncols, 1))
+    part = partition_cols_balanced(coo, n_parts)
+    partials = np.zeros((n_parts, coo.nrows), dtype=np.float64)
+    for p, (c0, c1) in enumerate(part.ranges()):
+        slab = coo.submatrix(0, coo.nrows, c0, c1)
+        slab.spmv(x[c0:c1], partials[p])
+    reduced = partials.sum(axis=0)
+    if y is None:
+        return reduced
+    y = np.asarray(y)
+    y += reduced
+    return y
+
+
+def column_partition_traffic_factor(
+    coo: COOMatrix, n_parts: int, *, write_allocate: bool = True
+) -> float:
+    """Destination-traffic multiplier of column partitioning.
+
+    Row partitioning writes each y element once; column partitioning
+    writes one partial per part plus the reduction — the quantitative
+    reason the paper exploits only row partitioning for SpMV's single
+    pass. Returns (column y-traffic) / (row y-traffic).
+    """
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    y_once = 2.0 if write_allocate else 1.0
+    # Each part writes a partial (write-allocate), the reduction reads
+    # all partials and writes the final vector.
+    col = n_parts * y_once + n_parts + y_once
+    return col / y_once

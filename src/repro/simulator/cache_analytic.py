@@ -1,0 +1,125 @@
+"""Analytic source/destination-vector traffic model.
+
+For SpMV the matrix arrays stream through the cache exactly once
+(compulsory misses only, already counted by the footprint), so the
+interesting cache behaviour is confined to the source vector ``x``
+(indexed gathers) and the destination vector ``y`` (streaming
+read-modify-write). This module estimates their DRAM traffic at cache
+line granularity, in the style of the SPARSITY/Nishtala cache-blocking
+models the paper builds on:
+
+* every *unique* line of ``x`` touched within a cache block is fetched
+  at least once (compulsory-per-block);
+* repeat accesses within a block hit, *unless* the block's working set
+  exceeds the effective cache, in which case a capacity miss fraction
+  proportional to the overflow is charged;
+* ``y`` costs a read + write per line under write-allocate (the paper's
+  16 bytes/element accounting), re-touched once per column-span of
+  cache blocks crossing the row panel.
+
+The exact simulator (:mod:`repro.simulator.cache`) validates this model
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import VALUE_BYTES, ceil_div
+from ..machines.model import CacheLevel
+
+
+@dataclass(frozen=True)
+class VectorTraffic:
+    """Estimated DRAM traffic of the two vectors, in bytes."""
+
+    x_bytes: float
+    y_bytes: float
+    x_unique_lines: int
+    x_accesses: int
+
+    @property
+    def total(self) -> float:
+        return self.x_bytes + self.y_bytes
+
+
+#: Fraction of the cache realistically available to vector lines while
+#: the matrix streams through it (streams occupy ways transiently and
+#: conflict misses waste the rest). 0.5 is the conventional "effective
+#: cache is half the cache" engineering rule used by SPARSITY.
+EFFECTIVE_CACHE_FRACTION = 0.5
+
+
+def unique_lines(col_indices: np.ndarray, line_bytes: int,
+                 value_bytes: int = VALUE_BYTES) -> int:
+    """Distinct cache lines touched by gathers at these indices."""
+    if len(col_indices) == 0:
+        return 0
+    per_line = max(1, line_bytes // value_bytes)
+    return int(len(np.unique(np.asarray(col_indices) // per_line)))
+
+
+def vector_traffic(
+    col_indices: np.ndarray,
+    n_rows_touched: int,
+    cache: CacheLevel | None,
+    *,
+    x_span_elems: int,
+    y_repeats: int = 1,
+    write_allocate: bool = True,
+    effective_fraction: float = EFFECTIVE_CACHE_FRACTION,
+) -> VectorTraffic:
+    """Estimate x/y DRAM traffic for one cache block (or whole matrix).
+
+    Parameters
+    ----------
+    col_indices : ndarray
+        Column index of every nonzero in the block (local or global —
+        only line-granular uniqueness matters).
+    n_rows_touched : int
+        Rows with at least one nonzero in this row panel.
+    cache : CacheLevel or None
+        The cache the vectors live in (LLC). ``None`` models a
+        local-store machine where every gather is part of an explicit
+        block transfer: x traffic = the full block span, once.
+    x_span_elems : int
+        Column span of the block (bounds the x working set).
+    y_repeats : int
+        Times this panel's ``y`` lines are re-touched (number of column
+        blocks in the row panel under cache blocking).
+    """
+    accesses = int(len(col_indices))
+    if cache is None:
+        # Local store (Cell): DMA the whole x span of the block, once.
+        x_bytes = float(x_span_elems * VALUE_BYTES)
+        uniq = min(accesses, x_span_elems)
+        line = VALUE_BYTES
+    else:
+        line = cache.line_bytes
+        uniq = unique_lines(col_indices, line)
+        compulsory = uniq * line
+        # Capacity misses: if the x working set (unique lines) overflows
+        # the effective cache, a proportional share of the reuse
+        # accesses miss again.
+        eff_lines = (cache.size_bytes * effective_fraction) / line
+        if uniq > eff_lines and accesses > uniq:
+            overflow = 1.0 - eff_lines / uniq
+            reuse = accesses - uniq
+            capacity = reuse * overflow * line
+            # Each reuse access can miss at most once per line fetch;
+            # this linear model is validated against the exact simulator.
+        else:
+            capacity = 0.0
+        x_bytes = compulsory + capacity
+    y_line = line if cache is not None else VALUE_BYTES
+    y_lines = ceil_div(max(n_rows_touched, 0) * VALUE_BYTES, y_line)
+    per_line_cost = 2 * y_line if write_allocate else y_line
+    y_bytes = float(y_lines * per_line_cost * max(y_repeats, 1))
+    return VectorTraffic(
+        x_bytes=float(x_bytes),
+        y_bytes=y_bytes,
+        x_unique_lines=int(uniq),
+        x_accesses=accesses,
+    )

@@ -1,0 +1,184 @@
+"""Instruction-throughput model of the SpMV inner kernels.
+
+Estimates the *compute* cycles a core spends processing a block of
+nonzeros, independent of memory traffic: loads/stores issued, flops
+through the DP pipe, loop overhead per row segment, branch mispredicts
+on short rows, and dependent-latency stalls on in-order cores without
+software pipelining. The calibration anchor is the paper's Niagara
+arithmetic (§6.1): ~10 cycles of instruction execution plus ~10 cycles
+of multiply latency per 1x1 CSR nonzero, which with 23–48 cycles of
+memory latency brackets the measured 29–46 Mflop/s single-thread band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import ceil_div
+from ..errors import SimulationError
+from ..machines.model import CoreArch
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """Low-level code-generation options (the paper's Table 2, left)."""
+
+    software_pipelined: bool = False
+    branchless: bool = False
+    simd: bool = False
+    pointer_arith: bool = False
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Cycle breakdown of one kernel invocation on one core."""
+
+    issue_cycles: float       #: micro-ops through the issue ports
+    fp_cycles: float          #: flops through the DP pipe
+    overhead_cycles: float    #: per-segment loop startup
+    mispredict_cycles: float  #: branch misprediction penalties
+    stall_cycles: float       #: exposed dependent latency (in-order)
+    flops: float
+
+    @property
+    def total_cycles(self) -> float:
+        # Loads and flops overlap up to the wider of the two pipes;
+        # overhead, mispredicts and stalls are serial additions.
+        return (
+            max(self.issue_cycles, self.fp_cycles)
+            + self.overhead_cycles
+            + self.mispredict_cycles
+            + self.stall_cycles
+        )
+
+
+def kernel_cycles(
+    core: CoreArch,
+    *,
+    format_name: str,
+    r: int,
+    c: int,
+    ntiles: int,
+    nnz_stored: int,
+    n_segments: int,
+    variant: KernelVariant = KernelVariant(),
+) -> KernelCosts:
+    """Compute-cycle estimate for processing one block of a matrix.
+
+    Parameters
+    ----------
+    core : CoreArch
+    format_name : str
+        ``"csr"``, ``"bcsr"``, ``"bcoo"`` or ``"gcsr"`` (COO follows the
+        BCOO path with 1×1 tiles).
+    r, c : int
+        Register-block dimensions (1×1 for unblocked formats).
+    ntiles : int
+        Stored tiles (equals nnz for 1×1 formats).
+    nnz_stored : int
+        Stored values including padding zeros — they all burn flops.
+    n_segments : int
+        Row segments executed (CSR rows or BCSR tile rows with data;
+        BCOO has no segment loop: pass the tile-row count for its
+        destination bookkeeping, it is charged per tile instead).
+    variant : KernelVariant
+    """
+    if ntiles < 0 or nnz_stored < 0 or n_segments < 0:
+        raise SimulationError("negative kernel counts")
+    if nnz_stored == 0:
+        return KernelCosts(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    simd_w = core.simd_width_dp if variant.simd else 1
+    tile_elems = r * c
+
+    # --- per-tile issued micro-ops -----------------------------------
+    val_loads = ceil_div(tile_elems, simd_w)
+    x_loads = ceil_div(c, simd_w)
+    idx_loads = 2 if format_name in ("bcoo", "coo") else 1
+    # Multiply + add per element; fused on FMA machines.
+    fp_issue_ops = ceil_div(tile_elems, simd_w) * (1 if core.has_fma else 2)
+    loop_ops = 2 if not variant.pointer_arith else 1  # inc + cmp
+    branch_ops = 0 if variant.branchless else 1
+    # Segmented-scan mux: a compare plus a select per element replace
+    # the loop-exit branch.
+    cmov_ops = 2 if variant.branchless else 0
+    per_tile_loads = val_loads + x_loads + idx_loads
+    per_tile = (
+        per_tile_loads + fp_issue_ops + loop_ops + branch_ops + cmov_ops
+    )
+    # BCOO scatters y per tile instead of per segment.
+    if format_name in ("bcoo", "coo"):
+        per_tile += 2 * ceil_div(r, simd_w)  # y load + store per tile
+        per_tile_loads += ceil_div(r, simd_w)
+
+    total_ops = per_tile * ntiles
+    load_cycles = per_tile_loads * ntiles / core.load_ports
+
+    # --- per-segment costs --------------------------------------------
+    if format_name in ("bcoo", "coo"):
+        seg_ops = 0.0
+        segments = 0
+    else:
+        segments = n_segments
+        seg_ops = 4.0  # pointer loads, bounds, y accumulate setup
+        if format_name == "gcsr":
+            seg_ops += 1.0  # explicit row-id load
+        seg_ops += 2.0 * ceil_div(r, simd_w)  # y read + write per segment
+        total_ops += seg_ops * segments
+
+    # Issue is bound by the narrower of total-op throughput and the
+    # load ports (SpMV is gather-heavy; the load port usually binds).
+    issue_cycles = max(total_ops / core.issue_width, load_cycles)
+
+    # --- floating point pipe ------------------------------------------
+    flops = 2.0 * nnz_stored
+    fp_cycles = flops / core.dp_flops_per_cycle
+
+    # --- loop-exit branch mispredicts ---------------------------------
+    if variant.branchless or segments == 0:
+        mispredict_cycles = 0.0
+    else:
+        # One mispredicted exit per segment; OoO speculation hides most
+        # of the penalty, in-order cores (and the predictor-less SPE)
+        # eat it whole. Very regular long loops predict their exits.
+        hide = 0.35 if core.out_of_order else 1.0
+        avg_len = ntiles / segments if segments else 0.0
+        regularity = 0.25 if avg_len >= 256 else 1.0
+        mispredict_cycles = (
+            segments * core.branch_miss_penalty_cycles * hide * regularity
+        )
+
+    # --- in-order dependent-latency stalls ----------------------------
+    if core.out_of_order or variant.software_pipelined:
+        stall_cycles = 0.0
+    else:
+        stall_cycles = core.mul_latency_cycles * ntiles
+
+    overhead_cycles = (seg_ops * segments) / core.issue_width if segments \
+        else 0.0
+    # overhead already inside issue_cycles; report it separately but
+    # don't double count in total.
+    return KernelCosts(
+        issue_cycles=issue_cycles,
+        fp_cycles=fp_cycles,
+        overhead_cycles=0.0,
+        mispredict_cycles=mispredict_cycles,
+        stall_cycles=stall_cycles,
+        flops=flops,
+    )
+
+
+def naive_csr_variant() -> KernelVariant:
+    """The unoptimized kernel: nested loops, no SIMD, no pipelining."""
+    return KernelVariant()
+
+
+def optimized_variant(core: CoreArch) -> KernelVariant:
+    """The paper's per-architecture optimized code generation (Table 2):
+    SIMD on x86/Cell, software pipelining on in-order cores, pointer
+    arithmetic where it helped (Niagara)."""
+    return KernelVariant(
+        software_pipelined=not core.out_of_order,
+        branchless=False,  # "did not improve performance" on x86 (§4.1)
+        simd=core.simd_width_dp > 1,
+        pointer_arith=not core.out_of_order,
+    )

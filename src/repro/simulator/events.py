@@ -1,0 +1,60 @@
+"""Result records produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """DRAM traffic of one simulated SpMV pass, in bytes."""
+
+    matrix_bytes: float
+    x_bytes: float
+    y_bytes: float
+
+    @property
+    def total(self) -> float:
+        return self.matrix_bytes + self.x_bytes + self.y_bytes
+
+    def __add__(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        return TrafficBreakdown(
+            self.matrix_bytes + other.matrix_bytes,
+            self.x_bytes + other.x_bytes,
+            self.y_bytes + other.y_bytes,
+        )
+
+
+ZERO_TRAFFIC = TrafficBreakdown(0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated SpMV execution."""
+
+    machine_name: str
+    time_s: float             #: simulated wall time of one SpMV pass
+    gflops: float             #: effective rate: 2·nnz_logical / time
+    traffic: TrafficBreakdown
+    sustained_gbs: float      #: achieved memory bandwidth, GB/s
+    compute_time_s: float     #: critical-path compute component
+    memory_time_s: float      #: memory component
+    bottleneck: str           #: ``"memory"``, ``"compute"`` or ``"latency"``
+    cache_resident: bool      #: working set fit the aggregate LLC
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    imbalance: float          #: max/mean thread load ratio (1.0 = even)
+    extras: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def mflops(self) -> float:
+        return self.gflops * 1e3
+
+    def summary(self) -> str:
+        return (
+            f"{self.machine_name}: {self.gflops:.3f} Gflop/s "
+            f"({self.sustained_gbs:.2f} GB/s, {self.bottleneck}-bound, "
+            f"{self.sockets}x{self.cores_per_socket}x"
+            f"{self.threads_per_core})"
+        )

@@ -1,0 +1,216 @@
+"""Sustained memory bandwidth model.
+
+The model has three stages, each tied to a documented architectural
+parameter:
+
+1. **Per-core demand** (Little's law): a core keeps ``C`` cache-line (or
+   DMA) requests of ``B`` bytes in flight against latency ``L``, so it
+   can consume at most ``C·B/L`` bytes/s. ``C`` grows with active
+   hardware threads up to the core's miss-queue cap, and shrinks when
+   software prefetch is off and the hardware prefetcher can't keep up.
+2. **Socket ceiling**: demand is capped by the socket's sustainable
+   bandwidth — peak DRAM (or FSB) bandwidth times a protocol/stream
+   efficiency.
+3. **System aggregation**: multi-socket scaling depends on data
+   placement: NUMA-aware placement nearly doubles, page interleaving
+   pays a documented penalty, single-node placement caps everything at
+   one socket's ceiling, and non-NUMA snoopy-FSB systems (Clovertown)
+   pay a coherency factor.
+
+With the calibration constants in :mod:`repro.machines` this model
+reproduces every row of the paper's Table 4; see
+``tests/test_simulator_memory.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..machines.model import Machine, PlacementPolicy
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Result of a sustained-bandwidth query."""
+
+    demand_bw: float        #: aggregate Little's-law demand, bytes/s
+    sustained_bw: float     #: achievable bandwidth, bytes/s
+    per_socket_bw: float    #: achievable per active socket, bytes/s
+    bottleneck: str         #: ``"latency"`` (demand-bound) or ``"dram"``
+    sockets_active: int
+    cores_per_socket_active: int
+    threads_per_core: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the active sockets' *peak* bandwidth sustained —
+        the percentage column of Table 4 (computed against peak by the
+        caller, which knows the machine)."""
+        return self.sustained_bw / max(self.demand_bw, 1e-30)
+
+
+def prefetch_distance_effectiveness(
+    machine: Machine, distance_doubles: int
+) -> float:
+    """Fraction of full memory concurrency a software-prefetch distance
+    achieves (§4.1 tunes this "from 0 (no prefetching) to 512 doubles").
+
+    * distance 0 → whatever the hardware prefetcher manages alone;
+    * ramp up to 1.0 once the prefetched data covers the memory latency
+      at the kernel's consumption rate;
+    * mild decay beyond: overly deep prefetch pollutes the L1 ("tagging
+      it with the appropriate temporal locality" only goes so far).
+    """
+    if distance_doubles < 0:
+        raise SimulationError("prefetch distance must be >= 0")
+    mem = machine.mem
+    if mem.dma or mem.sw_prefetch_target != "L1":
+        # DMA machines double-buffer regardless; L2-only prefetch
+        # (Niagara) cannot hide L1 misses at any distance.
+        return 1.0
+    if distance_doubles == 0:
+        return mem.hw_prefetch_effectiveness
+    # Doubles consumed during one memory latency at full streaming rate:
+    core = machine.core
+    full_bw = core.mem_concurrency_core_cap * mem.transfer_bytes \
+        / mem.latency_s
+    optimal = max(8.0, full_bw * mem.latency_s / 8.0)  # doubles in flight
+    ramp = min(1.0, distance_doubles / optimal)
+    base = mem.hw_prefetch_effectiveness
+    eff = base + (1.0 - base) * ramp
+    if distance_doubles > optimal:
+        over = (distance_doubles - optimal) / max(512.0 - optimal, 1.0)
+        eff *= 1.0 - 0.10 * min(over, 1.0)   # pollution decay, ≤10%
+    return max(eff, base)
+
+
+def per_core_demand_bw(
+    machine: Machine,
+    *,
+    threads_per_core: int = 1,
+    sw_prefetch: bool = True,
+    prefetch_distance_doubles: int | None = None,
+) -> float:
+    """Little's-law bandwidth demand of one core, bytes/s."""
+    core = machine.core
+    mem = machine.mem
+    if not (1 <= threads_per_core <= core.hw_threads):
+        raise SimulationError(
+            f"threads_per_core must be in [1, {core.hw_threads}], "
+            f"got {threads_per_core}"
+        )
+    concurrency = min(
+        threads_per_core * core.mem_concurrency_per_thread,
+        core.mem_concurrency_core_cap,
+    )
+    if not sw_prefetch and not mem.dma:
+        concurrency *= mem.hw_prefetch_effectiveness
+    elif sw_prefetch and prefetch_distance_doubles is not None:
+        concurrency *= prefetch_distance_effectiveness(
+            machine, prefetch_distance_doubles
+        )
+    return concurrency * mem.transfer_bytes / mem.latency_s
+
+
+def sustained_bandwidth(
+    machine: Machine,
+    *,
+    sockets: int | None = None,
+    cores_per_socket: int | None = None,
+    threads_per_core: int = 1,
+    policy: PlacementPolicy = PlacementPolicy.NUMA_AWARE,
+    sw_prefetch: bool = True,
+) -> BandwidthReport:
+    """Sustainable memory bandwidth for a given parallel configuration.
+
+    Parameters
+    ----------
+    machine : Machine
+    sockets, cores_per_socket : int, optional
+        Active resources (defaults: all).
+    threads_per_core : int
+        Active hardware threads per core (Niagara CMT sweep).
+    policy : PlacementPolicy
+        NUMA data placement; irrelevant for single-socket runs.
+    sw_prefetch : bool
+        Whether the kernel issues software prefetch (or DMA, which is
+        always on for Cell).
+    """
+    sockets = machine.sockets if sockets is None else sockets
+    cores = (
+        machine.cores_per_socket if cores_per_socket is None
+        else cores_per_socket
+    )
+    if not (1 <= sockets <= machine.sockets):
+        raise SimulationError(
+            f"sockets must be in [1, {machine.sockets}], got {sockets}"
+        )
+    if not (1 <= cores <= machine.cores_per_socket):
+        raise SimulationError(
+            f"cores_per_socket must be in [1, {machine.cores_per_socket}]"
+        )
+    core_bw = per_core_demand_bw(
+        machine, threads_per_core=threads_per_core, sw_prefetch=sw_prefetch
+    )
+    socket_demand = cores * core_bw
+    ceiling = machine.mem.sustained_bw_per_socket
+    socket_bw = min(socket_demand, ceiling)
+    bottleneck = "latency" if socket_demand < ceiling else "dram"
+
+    if sockets == 1:
+        total = socket_bw
+    elif machine.mem.numa:
+        if policy is PlacementPolicy.NUMA_AWARE:
+            total = sockets * socket_bw * machine.mem.numa_aware_scaling
+        elif policy is PlacementPolicy.INTERLEAVE:
+            total = sockets * socket_bw * machine.mem.interleave_scaling
+        else:  # SINGLE_NODE: every access funnels through node 0
+            total = ceiling
+            bottleneck = "dram"
+    else:
+        # Non-NUMA (Clovertown): both FSBs share one snooped memory pool.
+        total = sockets * socket_bw * machine.mem.coherency_scaling
+    return BandwidthReport(
+        demand_bw=sockets * socket_demand,
+        sustained_bw=total,
+        per_socket_bw=total / sockets,
+        bottleneck=bottleneck,
+        sockets_active=sockets,
+        cores_per_socket_active=cores,
+        threads_per_core=threads_per_core,
+    )
+
+
+def cache_resident_bandwidth(
+    machine: Machine,
+    *,
+    sockets: int,
+    cores_per_socket: int,
+    threads_per_core: int = 1,
+) -> float:
+    """Aggregate bandwidth when the working set lives in the LLC.
+
+    Replaces DRAM latency with LLC latency in the Little's-law demand —
+    the mechanism behind Clovertown's superlinear Economics scaling once
+    the matrix fits in the 16 MB aggregate L2. Returns 0 for local-store
+    machines (no cache to be resident in).
+    """
+    llc = machine.last_level_cache
+    if llc is None:
+        return 0.0
+    core = machine.core
+    latency_s = llc.latency_cycles / core.clock_hz
+    concurrency = min(
+        threads_per_core * core.mem_concurrency_per_thread,
+        core.mem_concurrency_core_cap,
+    )
+    per_core = concurrency * llc.line_bytes / latency_s
+    # An LLC instance ships at most one line every two cycles to its
+    # cores — the port limit that stops 8 Clovertown cores from drawing
+    # 500 GB/s out of their L2s.
+    per_instance_cap = llc.line_bytes * core.clock_hz / 2.0
+    instances_per_socket = -(-cores_per_socket // llc.shared_by_cores)
+    demand = per_core * cores_per_socket
+    per_socket = min(demand, per_instance_cap * instances_per_socket)
+    return per_socket * sockets

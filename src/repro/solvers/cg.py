@@ -1,0 +1,99 @@
+"""Conjugate gradient solver on top of library SpMV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Anything callable as ``y = op(x)`` (SparseFormat.spmv with y=None,
+#: TunedSpMV, or a plain function).
+LinearOperator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CGResult:
+    """Outcome of a conjugate-gradient solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    residual_history: tuple[float, ...]
+
+
+def _as_operator(a) -> tuple[LinearOperator, int]:
+    if callable(a) and not hasattr(a, "spmv"):
+        raise ReproError(
+            "pass a SparseFormat/TunedSpMV, or use the operator form "
+            "conjugate_gradient((op, n), b)"
+        )
+    if hasattr(a, "spmv"):
+        m, n = a.shape
+        if m != n:
+            raise ReproError(f"CG needs a square matrix, got {a.shape}")
+        return (lambda v: a.spmv(v)), n
+    op, n = a
+    return op, n
+
+
+def conjugate_gradient(
+    a,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iter: int | None = None,
+) -> CGResult:
+    """Solve ``A x = b`` for symmetric positive-definite ``A``.
+
+    Parameters
+    ----------
+    a : SparseFormat | TunedSpMV | (callable, n)
+        The operator. Formats/tuned operators are used via ``spmv``;
+        a ``(fn, n)`` pair supplies a bare matvec.
+    b : ndarray
+        Right-hand side.
+    x0 : ndarray, optional
+        Initial guess (default zero).
+    tol : float
+        Relative residual tolerance ``‖r‖/‖b‖``.
+    max_iter : int, optional
+        Default ``10 n``.
+    """
+    if hasattr(a, "matrix"):  # TunedSpMV
+        a = a.matrix
+    op, n = _as_operator(a)
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ReproError(f"b has shape {b.shape}, expected ({n},)")
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if max_iter is None:
+        max_iter = 10 * n
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return CGResult(np.zeros(n), 0, 0.0, True, (0.0,))
+    r = b - op(x)
+    p = r.copy()
+    rs = float(r @ r)
+    history = [float(np.sqrt(rs))]
+    for it in range(1, max_iter + 1):
+        ap = op(p)
+        denom = float(p @ ap)
+        if denom <= 0:
+            # Not SPD (or numerical breakdown): stop honestly.
+            return CGResult(x, it - 1, history[-1], False, tuple(history))
+        alpha = rs / denom
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        history.append(float(np.sqrt(rs_new)))
+        if np.sqrt(rs_new) <= tol * b_norm:
+            return CGResult(x, it, float(np.sqrt(rs_new)), True,
+                            tuple(history))
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return CGResult(x, max_iter, history[-1], False, tuple(history))

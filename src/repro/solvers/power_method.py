@@ -1,0 +1,44 @@
+"""Power iteration for the dominant eigenpair."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def power_method(
+    a,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+    seed: int = 0,
+) -> tuple[float, np.ndarray, int]:
+    """Dominant eigenvalue/vector of a square sparse matrix via repeated
+    SpMV.
+
+    Returns ``(eigenvalue, eigenvector, iterations)``.
+    """
+    if hasattr(a, "matrix"):  # TunedSpMV
+        a = a.matrix
+    m, n = a.shape
+    if m != n:
+        raise ReproError(f"power method needs a square matrix, got {a.shape}")
+    if n == 0:
+        raise ReproError("empty matrix")
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    lam = 0.0
+    for it in range(1, max_iter + 1):
+        w = a.spmv(v)
+        norm = float(np.linalg.norm(w))
+        if norm == 0.0:
+            return 0.0, v, it  # v in the null space: eigenvalue 0
+        w /= norm
+        lam_new = float(w @ a.spmv(w))
+        if abs(lam_new - lam) <= tol * max(1.0, abs(lam_new)):
+            return lam_new, w, it
+        lam = lam_new
+        v = w
+    return lam, v, max_iter

@@ -1,0 +1,47 @@
+"""Shared fixtures: small random matrices with controlled structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+
+
+def random_coo(
+    m: int, n: int, density: float, seed: int, *, blocky: bool = False
+) -> COOMatrix:
+    """A random COO matrix; ``blocky=True`` clusters entries in 2x2 tiles
+    so register blocking has something to find."""
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(m * n * density))
+    if blocky:
+        nb = max(1, nnz // 4)
+        br = rng.integers(0, max(1, m // 2), size=nb)
+        bc = rng.integers(0, max(1, n // 2), size=nb)
+        r = (br[:, None] * 2 + np.array([0, 0, 1, 1])[None, :]).ravel()
+        c = (bc[:, None] * 2 + np.array([0, 1, 0, 1])[None, :]).ravel()
+        r = np.minimum(r, m - 1)
+        c = np.minimum(c, n - 1)
+    else:
+        r = rng.integers(0, m, size=nnz)
+        c = rng.integers(0, n, size=nnz)
+    v = rng.standard_normal(len(r))
+    return COOMatrix((m, n), r, c, v)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[(1, 1, 0.05), (37, 23, 0.1), (100, 100, 0.02),
+                        (64, 256, 0.03), (200, 50, 0.08)])
+def small_coo(request):
+    m, n, d = request.param
+    return random_coo(m, n, d, seed=m * 1000 + n)
+
+
+@pytest.fixture
+def blocky_coo():
+    return random_coo(128, 128, 0.05, seed=7, blocky=True)

@@ -1,0 +1,130 @@
+"""Analysis layer: bounds, roofline, power efficiency, reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    epidemiology_bound,
+    flop_byte_bound,
+    format_table,
+    median,
+    power_efficiency,
+    power_efficiency_table,
+    roofline_model,
+    spmv_upper_bound,
+)
+from repro.analysis.report import format_bar_chart
+from repro.analysis.roofline import attainable_gflops, place_point, ridge_point
+from repro.errors import ReproError
+from repro.formats import coo_to_csr
+from repro.machines import get_machine
+from tests.conftest import random_coo
+
+
+class TestBounds:
+    def test_epidemiology_worked_example(self):
+        """§5.1 computes the Epidemiology flop:byte ratio as ~0.11."""
+        assert epidemiology_bound() == pytest.approx(0.11, abs=0.005)
+
+    def test_epidemiology_rate_bounds(self):
+        """§5.1: 'we don't expect the performance of Epidemiology to
+        exceed 1.39 Gflop/s and 0.98 Gflop/s' at 12.5 / 8.6 GB/s."""
+        ratio = epidemiology_bound()
+        assert ratio * 12.5 == pytest.approx(1.39, abs=0.05)
+        assert ratio * 8.6 == pytest.approx(0.98, abs=0.04)
+
+    def test_upper_limit_quarter(self):
+        # Huge nnz, 8 bytes per nnz, negligible vectors → 0.25.
+        assert flop_byte_bound(10**9, 8.0, 10, 10) == \
+            pytest.approx(0.25, rel=1e-3)
+
+    def test_spmv_upper_bound(self):
+        coo = random_coo(500, 500, 0.02, seed=1)
+        csr = coo_to_csr(coo)
+        bound = spmv_upper_bound(csr, 10e9)
+        assert 0 < bound < 0.25 * 10  # below the absolute ceiling
+
+
+class TestRoofline:
+    def test_shape(self):
+        xs, ys = roofline_model(get_machine("AMD X2"))
+        assert len(xs) == len(ys)
+        assert (np.diff(ys) >= -1e-9).all()  # monotone non-decreasing
+        assert ys.max() == pytest.approx(17.6, rel=0.01)
+
+    def test_ridge_ordering(self):
+        """Clovertown's ridge (3.52 flop:byte at peak bandwidth) sits
+        far right of Niagara's (0.31) — Table 1's flop:byte story."""
+        clv = ridge_point(get_machine("Clovertown"), use_sustained=False)
+        nia = ridge_point(get_machine("Niagara"), use_sustained=False)
+        assert clv > 3 * nia
+
+    def test_memory_bound_region_linear(self):
+        m = get_machine("Niagara")
+        a = attainable_gflops(m, 0.1)
+        b = attainable_gflops(m, 0.2)
+        assert b == pytest.approx(2 * a, rel=1e-6)
+
+    def test_place_point(self):
+        m = get_machine("AMD X2")
+        pt = place_point(m, "dense", gflops=2.0, traffic_bytes=8e9,
+                         flops=2e9)
+        assert pt.intensity == pytest.approx(0.25)
+        assert 0 < pt.efficiency <= 1.5
+
+
+class TestPower:
+    def test_figure_2b_ordering(self):
+        """Fig 2b: Cell blade leads, Niagara lowest."""
+        # Median full-system Gflop/s, Figure 2a's rough values.
+        meds = {
+            get_machine("Niagara"): 0.8,
+            get_machine("Clovertown"): 1.2,
+            get_machine("AMD X2"): 1.6,
+            get_machine("Cell (PS3)"): 2.2,
+            get_machine("Cell Blade"): 3.6,
+        }
+        rows = power_efficiency_table(meds)
+        assert rows[0]["machine"] == "Cell Blade"
+        assert rows[-1]["machine"] == "Niagara"
+
+    def test_cell_advantage_ratios(self):
+        """Fig 2b quotes ~2.1x over AMD X2, ~3.5x over Clovertown,
+        ~5.2x over Niagara."""
+        cell = power_efficiency(get_machine("Cell Blade"), 3.6)
+        amd = power_efficiency(get_machine("AMD X2"), 1.6)
+        clv = power_efficiency(get_machine("Clovertown"), 1.2)
+        nia = power_efficiency(get_machine("Niagara"), 0.8)
+        assert cell / amd == pytest.approx(2.0, rel=0.25)
+        assert cell / clv == pytest.approx(3.2, rel=0.25)
+        assert cell / nia == pytest.approx(3.8, rel=0.35)
+
+    def test_missing_power_rejected(self):
+        from dataclasses import replace
+
+        m = replace(get_machine("AMD X2"), watts_system=0.0)
+        with pytest.raises(ReproError):
+            power_efficiency(m, 1.0)
+
+
+class TestReport:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in out
+
+    def test_bar_chart(self):
+        out = format_bar_chart(["x", "yy"], [1.0, 2.0], width=10)
+        assert out.count("#") == 15  # 5 + 10
+        with pytest.raises(ValueError):
+            format_bar_chart(["x"], [1.0, 2.0])

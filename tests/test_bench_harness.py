@@ -1,0 +1,77 @@
+"""Benchmark-harness helper tests (kept in the main suite so the
+figure plumbing is exercised without running full-scale sweeps)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+import _harness  # noqa: E402
+
+
+class TestLabels:
+    def test_parallel_points_cover_all_machines(self):
+        from repro.machines import machine_names
+
+        assert set(_harness.PARALLEL_POINTS) == set(machine_names())
+
+    def test_full_system_flag_once_per_machine(self):
+        for name, points in _harness.PARALLEL_POINTS.items():
+            assert sum(1 for *_, full in points if full) == 1, name
+
+    def test_socket_and_system_selectors(self):
+        bars = {
+            "1 Core[PF,RB,CB]": 1.0, "2 Core[*]": 1.5,
+            "Dual Socket x 2 Core[*]": 2.5,
+        }
+        assert _harness.best_serial(bars) == 1.0
+        assert _harness.best_socket("AMD X2", bars) == 1.5
+        assert _harness.best_system("AMD X2", bars) == 2.5
+
+    def test_niagara_socket_is_one_thread(self):
+        bars = {"8 Cores x 1 Thread[*]": 0.28,
+                "8 Cores x 4 Threads[*]": 0.79}
+        assert _harness.best_socket("Niagara", bars) == 0.28
+        assert _harness.best_system("Niagara", bars) == 0.79
+
+
+class TestSweep:
+    def test_figure1_small_scale_single_matrix(self):
+        data = _harness.figure1_data(
+            "Cell (PS3)", 0.02, matrices=["QCD"]
+        )
+        bars = data["QCD"]
+        assert "1 SPE(PS3)" in bars and "6 SPEs(PS3)" in bars
+        assert bars["6 SPEs(PS3)"] > bars["1 SPE(PS3)"]
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_harness, "_CACHE_DIR", str(tmp_path))
+        payload = {"M": {"bar": 1.25}}
+        _harness._save_disk_cache("AMD X2", 0.5, payload)
+        assert _harness._load_disk_cache("AMD X2", 0.5) == payload
+        assert _harness._load_disk_cache("AMD X2", 0.25) is None
+
+    def test_disk_cache_tolerates_corruption(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setattr(_harness, "_CACHE_DIR", str(tmp_path))
+        path = Path(_harness._cache_path("AMD X2", 0.5))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert _harness._load_disk_cache("AMD X2", 0.5) is None
+
+    def test_plan_point_socket_vs_system(self):
+        from repro.core import SpmvEngine
+        from repro.machines import PlacementPolicy, get_machine
+        from repro.matrices import generate
+
+        coo = generate("Epidem", scale=0.03, seed=0)
+        eng = SpmvEngine(get_machine("AMD X2"))
+        socket = _harness.plan_point(eng, coo, 2, full_system=False)
+        system = _harness.plan_point(eng, coo, 4, full_system=True)
+        assert socket.config.policy is PlacementPolicy.SINGLE_NODE
+        assert system.config.policy is PlacementPolicy.NUMA_AWARE

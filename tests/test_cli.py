@@ -1,0 +1,97 @@
+"""CLI smoke tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.matrices import save_matrix, save_matrix_market
+from tests.conftest import random_coo
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCLI:
+    def test_machines(self, capsys):
+        code, out = run(capsys, "machines")
+        assert code == 0
+        for name in ["AMD X2", "Clovertown", "Niagara", "Cell Blade"]:
+            assert name in out
+
+    def test_suite(self, capsys):
+        code, out = run(capsys, "suite", "--scale", "0.01")
+        assert code == 0
+        assert "Webbase" in out and "LP" in out
+
+    def test_tune_suite_matrix(self, capsys):
+        code, out = run(capsys, "tune", "Econom", "--scale", "0.02",
+                        "--machine", "Clovertown", "--threads", "2")
+        assert code == 0
+        assert "simulated" in out and "Gflop/s" in out
+
+    def test_tune_mtx_file(self, capsys, tmp_path):
+        coo = random_coo(60, 60, 0.1, seed=1)
+        path = tmp_path / "m.mtx"
+        save_matrix_market(path, coo)
+        code, out = run(capsys, "tune", str(path), "--threads", "1")
+        assert code == 0
+        assert "60x60" in out
+
+    def test_sweep(self, capsys):
+        code, out = run(capsys, "sweep", "QCD", "--scale", "0.02",
+                        "--machine", "AMD X2")
+        assert code == 0
+        assert "naive" in out and "4 threads" in out
+
+    def test_compare(self, capsys):
+        code, out = run(capsys, "compare", "Epidem", "--scale", "0.02")
+        assert code == 0
+        assert "Cell Blade" in out
+
+    def test_info(self, capsys, tmp_path):
+        coo = random_coo(30, 40, 0.1, seed=2)
+        path = tmp_path / "m.npz"
+        save_matrix(path, coo)
+        code, out = run(capsys, "info", str(path))
+        assert code == 0
+        assert "30 x 40" in out
+
+    def test_validate(self, capsys):
+        code, out = run(capsys, "validate", "--scale", "0.01")
+        assert code == 0
+        assert "model/exact" in out
+
+    def test_validate_rejects_cell(self, capsys):
+        code = main(["validate", "--machine", "Cell (PS3)",
+                     "--scale", "0.01"])
+        assert code == 1
+
+    def test_figures_from_cache(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "fig1.json"
+        path.write_text(json.dumps(
+            {"MatX": {"naive": 0.5, "full": 2.0}}
+        ))
+        code, out = run(capsys, "figures", str(path),
+                        "--machine", "AMD X2")
+        assert code == 0
+        assert "MatX" in out and "median" in out
+
+    def test_figures_missing_cache(self, tmp_path):
+        code = main(["figures", str(tmp_path / "nope.json")])
+        assert code == 1
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,225 @@
+"""Format-choice and blocking heuristics (paper §4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TuningError
+from repro.formats import COOMatrix, IndexWidth
+from repro.core.heuristics import (
+    cell_block_specs,
+    choose_block_format,
+    choose_formats_batch,
+    sparse_cache_block_specs,
+)
+from repro.machines import get_machine
+
+
+def make_coo(m, n, rows, cols):
+    return COOMatrix((m, n), rows, cols, np.ones(len(rows)))
+
+
+class TestChooseFormat:
+    def test_aligned_dense_blocks_pick_big_tiles(self):
+        # 4x4 dense tiles on a 4-aligned grid: 4x4 BCSR/BCOO is optimal.
+        base = np.array([0, 4, 8, 12])
+        rows = np.repeat(np.repeat(base, 4) + np.tile(np.arange(4), 4), 4)
+        cols = np.tile(
+            (np.repeat(base, 16).reshape(4, 16)
+             + np.tile(np.arange(4), 4)).ravel(), 1
+        )
+        coo = make_coo(16, 16, rows, cols)
+        choice = choose_block_format(coo)
+        assert (choice.r, choice.c) == (4, 4)
+        assert choice.ntiles == 4
+        assert choice.nnz_stored == coo.nnz_logical  # no padding
+
+    def test_diagonal_prefers_1x1(self):
+        coo = make_coo(64, 64, np.arange(64), np.arange(64))
+        choice = choose_block_format(coo)
+        assert (choice.r, choice.c) == (1, 1)
+
+    def test_mostly_empty_rows_pick_bcoo(self):
+        # 3 nonzeros in a 100_000-row block: CSR pointers cost 400KB.
+        coo = make_coo(100_000, 100, np.array([5, 50_000, 99_999]),
+                       np.array([1, 2, 3]))
+        choice = choose_block_format(coo)
+        assert choice.format_name == "bcoo"
+
+    def test_16bit_when_small(self):
+        coo = make_coo(100, 100, np.arange(50), np.arange(50))
+        choice = choose_block_format(coo)
+        assert choice.index_width == IndexWidth.I16
+
+    def test_32bit_when_wide(self):
+        n = 70_000
+        rows = np.zeros(100, dtype=np.int64)
+        cols = np.linspace(0, n - 1, 100).astype(np.int64)
+        coo = make_coo(1, n, rows, cols)
+        choice = choose_block_format(
+            coo, allow_register_blocking=False, allow_bcoo=False
+        )
+        assert choice.index_width == IndexWidth.I32
+
+    def test_16bit_via_block_columns(self):
+        # 4-wide tiles quadruple the 16-bit reach: 200K columns become
+        # 50K block columns.
+        n = 200_000
+        rows = np.zeros(200, dtype=np.int64)
+        cols = (np.arange(200) * 997) % n
+        coo = make_coo(1, n, rows, np.sort(cols))
+        choice = choose_block_format(coo, allow_bcoo=False)
+        if choice.c == 4:
+            assert choice.index_width == IndexWidth.I16
+
+    def test_rb_disabled_forces_1x1(self):
+        coo = make_coo(16, 16, np.arange(16), np.arange(16))
+        choice = choose_block_format(coo, allow_register_blocking=False)
+        assert (choice.r, choice.c) == (1, 1)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(TuningError):
+            choose_block_format(COOMatrix.empty((5, 5)))
+
+    def test_gcsr_candidate_wins_on_sparse_tall(self):
+        coo = make_coo(10_000, 50_000, np.array([17, 41]),
+                       np.array([100, 40_000]))
+        with_g = choose_block_format(coo, allow_gcsr=True,
+                                     allow_bcoo=False)
+        assert with_g.format_name == "gcsr"
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(2, 120),
+        n=st.integers(2, 120),
+        nnz=st.integers(1, 300),
+        seed=st.integers(0, 2**31),
+        rb=st.booleans(),
+        bcoo=st.booleans(),
+    )
+    def test_batch_matches_scalar(self, m, n, nnz, seed, rb, bcoo):
+        rng = np.random.default_rng(seed)
+        key = np.unique(rng.integers(0, m * n, nnz))
+        rows, cols = key // n, key % n
+        coo = make_coo(m, n, rows, cols)
+        scalar = choose_block_format(
+            coo, allow_register_blocking=rb, allow_bcoo=bcoo
+        )
+        batch = choose_formats_batch(
+            np.zeros(len(rows), dtype=np.int64), rows, cols,
+            np.array([m]), np.array([n]),
+            allow_register_blocking=rb, allow_bcoo=bcoo,
+        )[0]
+        assert scalar.footprint == batch.footprint
+        assert scalar.format_name == batch.format_name
+        assert (scalar.r, scalar.c) == (batch.r, batch.c)
+        assert scalar.ntiles == batch.ntiles
+        assert scalar.n_segments == batch.n_segments
+
+    def test_multi_block_batch(self):
+        rng = np.random.default_rng(3)
+        parts = []
+        for b in range(3):
+            m, n = 40 + 10 * b, 60
+            key = np.unique(rng.integers(0, m * n, 120))
+            parts.append((key // n, key % n, m, n))
+        bid = np.concatenate([
+            np.full(len(p[0]), i, dtype=np.int64)
+            for i, p in enumerate(parts)
+        ])
+        lrow = np.concatenate([p[0] for p in parts])
+        lcol = np.concatenate([p[1] for p in parts])
+        batch = choose_formats_batch(
+            bid, lrow, lcol,
+            np.array([p[2] for p in parts]),
+            np.array([p[3] for p in parts]),
+        )
+        for i, (rows, cols, m, n) in enumerate(parts):
+            scalar = choose_block_format(make_coo(m, n, rows, cols))
+            assert batch[i].footprint == scalar.footprint, i
+            assert batch[i].format_name == scalar.format_name, i
+
+
+class TestCacheBlocking:
+    def test_specs_cover_matrix(self):
+        rng = np.random.default_rng(0)
+        coo = make_coo(50_000, 400_000,
+                       np.sort(rng.integers(0, 50_000, 5000)),
+                       rng.integers(0, 400_000, 5000))
+        specs = sparse_cache_block_specs(coo, get_machine("AMD X2"))
+        assert specs[0][0] == 0
+        assert max(s[1] for s in specs) == 50_000
+        # Every panel's column spans tile [0, n).
+        by_panel: dict = {}
+        for (r0, r1, c0, c1) in specs:
+            by_panel.setdefault((r0, r1), []).append((c0, c1))
+        for spans in by_panel.values():
+            spans.sort()
+            assert spans[0][0] == 0
+            assert spans[-1][1] == 400_000
+            for (a, b), (c, d) in zip(spans, spans[1:]):
+                assert b == c  # contiguous
+
+    def test_scattered_matrix_gets_multiple_column_blocks(self):
+        rng = np.random.default_rng(1)
+        n = 3_000_000
+        coo = make_coo(1000, n, np.sort(rng.integers(0, 1000, 60_000)),
+                       rng.integers(0, n, 60_000))
+        specs = sparse_cache_block_specs(coo, get_machine("AMD X2"))
+        assert len(specs) > 1
+
+    def test_banded_matrix_single_block_per_panel(self):
+        # A narrow band touches few lines: no column cuts needed.
+        coo = make_coo(10_000, 10_000, np.arange(10_000),
+                       np.arange(10_000))
+        specs = sparse_cache_block_specs(coo, get_machine("Clovertown"))
+        panels = {(s[0], s[1]) for s in specs}
+        assert len(specs) == len(panels)
+
+    def test_tlb_budget_cuts_more(self):
+        rng = np.random.default_rng(2)
+        n = 8_000_000
+        coo = make_coo(500, n, np.sort(rng.integers(0, 500, 40_000)),
+                       rng.integers(0, n, 40_000))
+        amd = get_machine("AMD X2")  # tiny 32-entry L1 TLB
+        with_tlb = sparse_cache_block_specs(coo, amd, tlb_block=True)
+        without = sparse_cache_block_specs(coo, amd, tlb_block=False)
+        assert len(with_tlb) > len(without)
+
+    def test_rejects_local_store_machine(self):
+        coo = make_coo(10, 10, np.arange(5), np.arange(5))
+        with pytest.raises(TuningError):
+            sparse_cache_block_specs(coo, get_machine("Cell (PS3)"))
+
+    def test_bad_share(self):
+        coo = make_coo(10, 10, np.arange(5), np.arange(5))
+        with pytest.raises(TuningError):
+            sparse_cache_block_specs(coo, get_machine("AMD X2"),
+                                     x_share=1.5)
+
+
+class TestCellBlocking:
+    def test_grid_fits_local_store(self):
+        coo = make_coo(100_000, 100_000, np.arange(10), np.arange(10))
+        m = get_machine("Cell (PS3)")
+        specs = cell_block_specs(coo, m)
+        for (r0, r1, c0, c1) in specs:
+            x_bytes = (c1 - c0) * 8
+            y_bytes = (r1 - r0) * 8 * 2
+            assert x_bytes + y_bytes <= m.local_store_bytes
+
+    def test_covers_matrix(self):
+        coo = make_coo(30_000, 70_000, np.arange(10), np.arange(10))
+        specs = cell_block_specs(coo, get_machine("Cell Blade"))
+        assert max(s[1] for s in specs) == 30_000
+        assert max(s[3] for s in specs) == 70_000
+
+    def test_rejects_cached_machine(self):
+        coo = make_coo(10, 10, np.arange(5), np.arange(5))
+        with pytest.raises(TuningError):
+            cell_block_specs(coo, get_machine("AMD X2"))

@@ -1,0 +1,131 @@
+"""Failure injection and degenerate-shape robustness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationLevel, SpmvEngine
+from repro.core.plan import forced_index_width
+from repro.core.optimizer import optimization_config
+from repro.errors import TuningError
+from repro.formats import COOMatrix, IndexWidth, coo_to_csr
+from repro.machines import get_machine, machine_names
+
+
+def tiny(shape, entries):
+    rows = [e[0] for e in entries]
+    cols = [e[1] for e in entries]
+    vals = [e[2] for e in entries]
+    return COOMatrix(shape, rows, cols, vals)
+
+
+@pytest.mark.parametrize("mname", machine_names())
+class TestDegenerateShapes:
+    def test_one_by_one(self, mname):
+        coo = tiny((1, 1), [(0, 0, 3.0)])
+        eng = SpmvEngine(get_machine(mname))
+        tuned = eng.tune(coo)
+        assert tuned(np.array([2.0]))[0] == 6.0
+        assert eng.simulate(tuned.plan).gflops > 0
+
+    def test_single_row(self, mname):
+        coo = tiny((1, 1000), [(0, k, 1.0) for k in range(0, 1000, 37)])
+        eng = SpmvEngine(get_machine(mname))
+        tuned = eng.tune(coo)
+        x = np.ones(1000)
+        assert tuned(x)[0] == pytest.approx(coo.nnz_logical)
+
+    def test_single_column(self, mname):
+        coo = tiny((1000, 1), [(k, 0, 2.0) for k in range(0, 1000, 41)])
+        eng = SpmvEngine(get_machine(mname))
+        tuned = eng.tune(coo)
+        y = tuned(np.array([1.5]))
+        assert y.sum() == pytest.approx(3.0 * coo.nnz_logical)
+
+    def test_mostly_empty(self, mname):
+        coo = tiny((50_000, 50_000), [(17, 23, 1.0), (49_999, 0, 2.0)])
+        eng = SpmvEngine(get_machine(mname))
+        tuned = eng.tune(coo)
+        x = np.ones(50_000)
+        y = tuned(x)
+        assert y[17] == 1.0 and y[49_999] == 2.0
+        assert y.sum() == 3.0
+
+
+class TestFailureInjection:
+    def test_empty_matrix_plan_fails_cleanly(self):
+        coo = COOMatrix.empty((100, 100))
+        eng = SpmvEngine(get_machine("AMD X2"))
+        plan = eng.plan(coo)  # no nonzeros → no blocks, still a plan
+        assert plan.profile.nnz_logical == 0
+        mat = plan.materialize(coo)
+        assert mat.spmv(np.ones(100)).sum() == 0.0
+
+    def test_materialize_wrong_matrix(self):
+        eng = SpmvEngine(get_machine("AMD X2"))
+        a = tiny((10, 10), [(1, 1, 1.0)])
+        b = tiny((11, 10), [(1, 1, 1.0)])
+        plan = eng.plan(a)
+        with pytest.raises(TuningError):
+            plan.materialize(b)
+
+    def test_thread_overflow(self):
+        eng = SpmvEngine(get_machine("AMD X2"))
+        a = tiny((10, 10), [(1, 1, 1.0)])
+        with pytest.raises(Exception):
+            eng.plan(a, n_threads=4096)
+
+    def test_forced_index_width(self):
+        cfg16 = optimization_config(get_machine("AMD X2"),
+                                    OptimizationLevel.FULL)
+        assert forced_index_width(cfg16, 1000) is IndexWidth.I16
+        assert forced_index_width(cfg16, 100_000) is IndexWidth.I32
+        cfg32 = optimization_config(get_machine("AMD X2"),
+                                    OptimizationLevel.NAIVE)
+        assert forced_index_width(cfg32, 1000) is IndexWidth.I32
+
+    def test_nan_values_flow_through(self):
+        # The library is IEEE-transparent: NaNs propagate, never crash.
+        coo = tiny((3, 3), [(0, 0, float("nan")), (1, 1, 1.0)])
+        csr = coo_to_csr(coo)
+        y = csr.spmv(np.ones(3))
+        assert np.isnan(y[0]) and y[1] == 1.0
+
+    def test_huge_values_no_overflow_error(self):
+        coo = tiny((2, 2), [(0, 0, 1e308), (1, 1, 1e308)])
+        y = coo_to_csr(coo).spmv(np.full(2, 10.0))
+        assert np.isinf(y).all()  # IEEE inf, not an exception
+
+
+class TestPlanInternals:
+    def test_choices_and_blocks_aligned(self):
+        from repro.matrices import generate
+
+        coo = generate("Circuit", scale=0.03, seed=0)
+        eng = SpmvEngine(get_machine("Clovertown"))
+        plan = eng.plan(coo, n_threads=2)
+        assert len(plan.choices) == len(plan.profile.blocks)
+        for (ext, choice), blk in zip(plan.choices,
+                                      plan.profile.blocks):
+            assert ext == blk.extent
+            assert choice.format_name == blk.format_name
+            assert choice.footprint == blk.matrix_bytes
+
+    def test_all_nnz_covered_exactly_once(self):
+        from repro.matrices import generate
+
+        coo = generate("QCD", scale=0.04, seed=0)
+        for mname in machine_names():
+            eng = SpmvEngine(get_machine(mname))
+            plan = eng.plan(coo, n_threads=1)
+            assert plan.profile.nnz_logical == coo.nnz_logical, mname
+
+    def test_cell_block_spans_fit_16bit(self):
+        from repro.matrices import generate
+
+        coo = generate("Webbase", scale=0.05, seed=0)
+        eng = SpmvEngine(get_machine("Cell (PS3)"))
+        plan = eng.plan(coo)
+        for _, choice in plan.choices:
+            assert choice.index_bytes == 2

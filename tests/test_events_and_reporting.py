@@ -1,0 +1,56 @@
+"""SimResult/report cosmetics and engine simulate overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OptimizationLevel, SpmvEngine
+from repro.machines import get_machine
+from repro.matrices import generate
+from repro.simulator.cpu import KernelVariant
+from repro.simulator.events import (
+    TrafficBreakdown,
+    ZERO_TRAFFIC,
+)
+
+
+class TestEvents:
+    def test_zero_traffic(self):
+        assert ZERO_TRAFFIC.total == 0.0
+        t = ZERO_TRAFFIC + TrafficBreakdown(1.0, 2.0, 3.0)
+        assert t.total == 6.0
+
+    def test_summary_strings(self):
+        coo = generate("QCD", scale=0.03, seed=0)
+        eng = SpmvEngine(get_machine("Niagara"))
+        res = eng.simulate(eng.plan(coo, n_threads=8))
+        s = res.summary()
+        assert "Niagara" in s and "Gflop/s" in s
+        assert res.mflops == pytest.approx(res.gflops * 1e3)
+
+
+class TestSimulateOverrides:
+    def test_prefetch_override(self):
+        coo = generate("FEM-Cant", scale=0.1, seed=0)
+        eng = SpmvEngine(get_machine("AMD X2"))
+        plan = eng.plan(coo, level=OptimizationLevel.PF)
+        with_pf = eng.simulate(plan)
+        without = eng.simulate(plan, sw_prefetch=False)
+        assert with_pf.gflops > without.gflops
+
+    def test_variant_override(self):
+        coo = generate("Circuit", scale=0.05, seed=0)
+        eng = SpmvEngine(get_machine("Niagara"))
+        plan = eng.plan(coo, level=OptimizationLevel.PF)
+        opt = eng.simulate(plan)
+        naive = eng.simulate(plan, variant=KernelVariant())
+        assert opt.gflops >= naive.gflops
+
+    def test_numa_assignment_exposed(self):
+        coo = generate("Econom", scale=0.03, seed=0)
+        m = get_machine("Cell Blade")
+        eng = SpmvEngine(m)
+        plan = eng.plan(coo, n_threads=16)
+        assign = eng.numa_assignment(plan)
+        assert assign.n_threads == 16
+        assert set(assign.socket_of_thread) == {0, 1}

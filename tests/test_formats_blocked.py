@@ -1,0 +1,165 @@
+"""Unit tests for BCSR, BCOO and cache-blocked formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError, MatrixFormatError
+from repro.formats import (
+    COOMatrix,
+    IndexWidth,
+    to_bcoo,
+    to_bcsr,
+    to_cache_blocked,
+)
+from repro.formats.bcsr import POWER_OF_TWO_BLOCKS
+from repro.formats.convert import count_tiles, uniform_block_specs
+
+ALL_BLOCKS = list(POWER_OF_TWO_BLOCKS)
+
+
+class TestBCSR:
+    @pytest.mark.parametrize("r,c", ALL_BLOCKS)
+    def test_roundtrip(self, small_coo, r, c):
+        b = to_bcsr(small_coo, r, c)
+        np.testing.assert_allclose(b.toarray(), small_coo.toarray())
+
+    @pytest.mark.parametrize("r,c", ALL_BLOCKS)
+    def test_spmv(self, small_coo, rng, r, c):
+        b = to_bcsr(small_coo, r, c)
+        x = rng.standard_normal(b.ncols)
+        np.testing.assert_allclose(b.spmv(x), small_coo.toarray() @ x,
+                                   rtol=1e-12)
+
+    def test_fill_ratio_one_for_1x1(self, small_coo):
+        b = to_bcsr(small_coo, 1, 1)
+        assert b.fill_ratio == 1.0
+        assert b.nnz_stored == small_coo.nnz_logical
+
+    def test_fill_ratio_one_for_dense_blocks(self, blocky_coo):
+        b = to_bcsr(blocky_coo, 2, 2)
+        # Entries were generated on an aligned 2x2 grid: no padding.
+        assert b.fill_ratio == pytest.approx(1.0)
+
+    def test_padding_counted(self):
+        # A diagonal defeats 2x2 blocking: each tile holds 2 of 4 slots.
+        coo = COOMatrix((4, 4), [0, 1, 2, 3], [0, 1, 2, 3], [1.0] * 4)
+        b = to_bcsr(coo, 2, 2)
+        assert b.nnz_logical == 4
+        assert b.nnz_stored == 8
+        assert b.fill_ratio == 2.0
+
+    def test_count_tiles_matches_materialized(self, small_coo):
+        for r, c in ALL_BLOCKS:
+            assert count_tiles(small_coo, r, c) == to_bcsr(small_coo, r, c).ntiles
+
+    def test_footprint_estimate_matches_actual(self, small_coo):
+        for r, c in [(1, 1), (2, 2), (4, 2)]:
+            b = to_bcsr(small_coo, r, c)
+            est = type(b).estimate_footprint(
+                b.ntiles, r, c, b.n_brows, b.index_width
+            )
+            assert est == b.footprint_bytes()
+
+    def test_ragged_edge(self, rng):
+        # 5x7 matrix with 4x4 tiles: edge tiles exceed matrix bounds.
+        coo = COOMatrix((5, 7), [4, 0, 3], [6, 0, 5], [1.0, 2.0, 3.0])
+        b = to_bcsr(coo, 4, 4)
+        np.testing.assert_allclose(b.toarray(), coo.toarray())
+        x = rng.standard_normal(7)
+        np.testing.assert_allclose(b.spmv(x), coo.toarray() @ x)
+
+    def test_bad_block_dims(self, small_coo):
+        with pytest.raises((MatrixFormatError, ConversionError)):
+            to_bcsr(small_coo, 0, 2)
+
+
+class TestBCOO:
+    @pytest.mark.parametrize("r,c", [(1, 1), (2, 2), (1, 4), (4, 1)])
+    def test_roundtrip(self, small_coo, r, c):
+        b = to_bcoo(small_coo, r, c)
+        np.testing.assert_allclose(b.toarray(), small_coo.toarray())
+
+    @pytest.mark.parametrize("r,c", [(1, 1), (2, 2), (4, 4)])
+    def test_spmv(self, small_coo, rng, r, c):
+        b = to_bcoo(small_coo, r, c)
+        x = rng.standard_normal(b.ncols)
+        np.testing.assert_allclose(b.spmv(x), small_coo.toarray() @ x,
+                                   rtol=1e-12)
+
+    def test_no_row_pointer_cost(self):
+        # One nonzero in a 10^4-row matrix: BCOO footprint independent of m.
+        coo = COOMatrix((10_000, 10), [5_000], [3], [1.0])
+        b = to_bcoo(coo, 1, 1, index_width=IndexWidth.I32)
+        assert b.footprint_bytes() == 8 + 2 * 4
+
+    def test_beats_csr_on_mostly_empty_rows(self):
+        m = 10_000
+        coo = COOMatrix((m, 100), [1, 2, 3], [1, 2, 3], [1.0, 1.0, 1.0])
+        from repro.formats import coo_to_csr
+
+        bcoo = to_bcoo(coo, 1, 1)
+        csr = coo_to_csr(coo)
+        assert bcoo.footprint_bytes() < csr.footprint_bytes()
+
+    def test_duplicate_tiles_with_scatter(self, rng):
+        # Multiple tiles mapping to the same block row exercise np.add.at.
+        coo = COOMatrix((2, 64), [0] * 8 + [1] * 8,
+                        list(range(0, 64, 8)) + list(range(4, 64, 8)),
+                        rng.standard_normal(16))
+        b = to_bcoo(coo, 2, 2)
+        x = rng.standard_normal(64)
+        np.testing.assert_allclose(b.spmv(x), coo.toarray() @ x, rtol=1e-12)
+
+
+class TestCacheBlocked:
+    def test_uniform_specs_cover(self, small_coo):
+        specs = uniform_block_specs(small_coo.shape, 16, 16)
+        cb = to_cache_blocked(small_coo, specs)
+        np.testing.assert_allclose(cb.toarray(), small_coo.toarray())
+
+    def test_spmv(self, small_coo, rng):
+        specs = uniform_block_specs(small_coo.shape, 32, 16)
+        cb = to_cache_blocked(small_coo, specs)
+        x = rng.standard_normal(cb.ncols)
+        np.testing.assert_allclose(cb.spmv(x), small_coo.toarray() @ x,
+                                   rtol=1e-12)
+
+    def test_incomplete_specs_rejected(self, small_coo):
+        m, n = small_coo.shape
+        if small_coo.nnz_logical == 0:
+            pytest.skip("needs nonzeros")
+        specs = [(0, max(1, m // 2), 0, n)]  # misses the bottom half
+        bottom = small_coo.submatrix(max(1, m // 2), m, 0, n)
+        if bottom.nnz_logical == 0:
+            pytest.skip("bottom half happens to be empty")
+        with pytest.raises(ConversionError):
+            to_cache_blocked(small_coo, specs)
+
+    def test_empty_blocks_dropped(self):
+        coo = COOMatrix((100, 100), [0], [0], [1.0])
+        specs = uniform_block_specs((100, 100), 10, 10)
+        cb = to_cache_blocked(coo, specs)
+        assert cb.n_blocks == 1
+
+    def test_custom_chooser(self, blocky_coo):
+        from repro.formats.convert import to_bcsr as _to_bcsr
+
+        cb = to_cache_blocked(
+            blocky_coo,
+            uniform_block_specs(blocky_coo.shape, 64, 64),
+            choose=lambda local: _to_bcsr(local, 2, 2),
+        )
+        assert set(cb.format_census()) == {"bcsr"}
+        np.testing.assert_allclose(cb.toarray(), blocky_coo.toarray())
+
+    def test_footprint_includes_metadata(self, small_coo):
+        specs = uniform_block_specs(small_coo.shape, 16, 16)
+        cb = to_cache_blocked(small_coo, specs)
+        subtotal = sum(b.matrix.footprint_bytes() for b in cb.blocks)
+        assert cb.footprint_bytes() == subtotal + 16 * cb.n_blocks
+
+    def test_no_specs_rejected(self, small_coo):
+        with pytest.raises(ConversionError):
+            to_cache_blocked(small_coo, [])

@@ -1,0 +1,116 @@
+"""Unit tests for the COO interchange format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.formats import COOMatrix
+
+
+class TestConstruction:
+    def test_basic_triplets(self):
+        m = COOMatrix((3, 3), [0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        assert m.shape == (3, 3)
+        assert m.nnz_logical == 3
+        np.testing.assert_allclose(m.toarray(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_sorts_row_major(self):
+        m = COOMatrix((2, 2), [1, 0, 1], [0, 1, 1], [3.0, 1.0, 4.0])
+        assert list(m.row) == [0, 1, 1]
+        assert list(m.col) == [1, 0, 1]
+        assert list(m.val) == [1.0, 3.0, 4.0]
+
+    def test_duplicates_summed(self):
+        m = COOMatrix((2, 2), [0, 0, 0], [1, 1, 0], [1.0, 2.0, 5.0])
+        assert m.nnz_logical == 2
+        assert m.toarray()[0, 1] == 3.0
+        assert m.toarray()[0, 0] == 5.0
+
+    def test_row_out_of_range_raises(self):
+        with pytest.raises(MatrixFormatError):
+            COOMatrix((2, 2), [2], [0], [1.0])
+
+    def test_col_out_of_range_raises(self):
+        with pytest.raises(MatrixFormatError):
+            COOMatrix((2, 2), [0], [-1], [1.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(MatrixFormatError):
+            COOMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_negative_shape_raises(self):
+        with pytest.raises(MatrixFormatError):
+            COOMatrix((-1, 2), [], [], [])
+
+    def test_zero_dim_with_entries_raises(self):
+        with pytest.raises(MatrixFormatError):
+            COOMatrix((0, 5), [0], [0], [1.0])
+
+    def test_empty(self):
+        m = COOMatrix.empty((4, 7))
+        assert m.nnz_logical == 0
+        assert m.spmv(np.ones(7)).tolist() == [0.0] * 4
+
+    def test_from_dense_roundtrip(self, rng):
+        d = rng.standard_normal((13, 9))
+        d[d < 0.5] = 0.0
+        m = COOMatrix.from_dense(d)
+        np.testing.assert_allclose(m.toarray(), d)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            COOMatrix.from_dense(np.ones(4))
+
+
+class TestOps:
+    def test_spmv_matches_dense(self, small_coo, rng):
+        x = rng.standard_normal(small_coo.ncols)
+        y = small_coo.spmv(x)
+        np.testing.assert_allclose(y, small_coo.toarray() @ x, rtol=1e-12)
+
+    def test_spmv_accumulates(self, small_coo, rng):
+        x = rng.standard_normal(small_coo.ncols)
+        y0 = rng.standard_normal(small_coo.nrows)
+        y = small_coo.spmv(x, y0.copy())
+        np.testing.assert_allclose(y, y0 + small_coo.toarray() @ x, rtol=1e-12)
+
+    def test_spmv_wrong_x_shape(self, small_coo):
+        with pytest.raises(ValueError):
+            small_coo.spmv(np.ones(small_coo.ncols + 1))
+
+    def test_spmv_wrong_y_shape(self, small_coo):
+        with pytest.raises(ValueError):
+            small_coo.spmv(np.ones(small_coo.ncols),
+                           np.zeros(small_coo.nrows + 1))
+
+    def test_transpose(self, small_coo, rng):
+        t = small_coo.transpose()
+        assert t.shape == (small_coo.ncols, small_coo.nrows)
+        np.testing.assert_allclose(t.toarray(), small_coo.toarray().T)
+
+    def test_row_counts(self, small_coo):
+        counts = small_coo.row_counts()
+        assert counts.sum() == small_coo.nnz_logical
+        dense_counts = (small_coo.toarray() != 0).sum(axis=1)
+        # Explicit zeros may make stored > dense count; allow >=.
+        assert (counts >= dense_counts).all()
+
+    def test_submatrix(self, small_coo):
+        m, n = small_coo.shape
+        r0, r1 = 0, max(1, m // 2)
+        c0, c1 = max(0, n // 4), n
+        sub = small_coo.submatrix(r0, r1, c0, c1)
+        np.testing.assert_allclose(
+            sub.toarray(), small_coo.toarray()[r0:r1, c0:c1]
+        )
+
+    def test_eliminate_zeros(self):
+        m = COOMatrix((2, 2), [0, 1], [0, 1], [0.0, 2.0])
+        pruned = m.eliminate_zeros()
+        assert pruned.nnz_logical == 1
+        np.testing.assert_allclose(pruned.toarray(), m.toarray())
+
+    def test_naive_bytes_is_16_per_nnz(self, small_coo):
+        assert small_coo.naive_bytes() == 16 * small_coo.nnz_logical

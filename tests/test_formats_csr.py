@@ -1,0 +1,146 @@
+"""Unit tests for CSR / GCSR formats and conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexWidthError, MatrixFormatError
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    IndexWidth,
+    coo_to_csr,
+    to_gcsr,
+)
+
+
+class TestCSRConstruction:
+    def test_valid(self):
+        m = CSRMatrix((2, 3), [0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(
+            m.toarray(), [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]]
+        )
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix((2, 3), [0, 2], [0, 2], [1.0, 2.0])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix((2, 3), [1, 2, 2], [0], [1.0])
+
+    def test_indptr_must_end_at_nnz(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix((2, 3), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_indptr_decreasing_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix((2, 3), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_16bit_rejected_for_wide_matrix(self):
+        n = 70_000
+        with pytest.raises(IndexWidthError):
+            CSRMatrix((1, n), [0, 1], [n - 1], [1.0],
+                      index_width=IndexWidth.I16)
+
+    def test_16bit_accepted_for_narrow_matrix(self):
+        m = CSRMatrix((1, 100), [0, 1], [99], [1.0],
+                      index_width=IndexWidth.I16)
+        assert m.indices.dtype == np.uint16
+
+
+class TestCSRRoundtrip:
+    def test_coo_csr_coo(self, small_coo):
+        csr = coo_to_csr(small_coo)
+        back = csr.to_coo()
+        np.testing.assert_allclose(back.toarray(), small_coo.toarray())
+
+    def test_spmv_matches_reference(self, small_coo, rng):
+        csr = coo_to_csr(small_coo)
+        x = rng.standard_normal(csr.ncols)
+        np.testing.assert_allclose(
+            csr.spmv(x), small_coo.toarray() @ x, rtol=1e-12
+        )
+
+    def test_spmv_matches_scipy(self, small_coo, rng):
+        import scipy.sparse as sp
+
+        csr = coo_to_csr(small_coo)
+        s = sp.csr_matrix(small_coo.toarray())
+        x = rng.standard_normal(csr.ncols)
+        np.testing.assert_allclose(csr.spmv(x), s @ x, rtol=1e-12)
+
+    def test_rowwise_kernel_agrees(self, rng):
+        coo = COOMatrix((20, 20), rng.integers(0, 20, 60),
+                        rng.integers(0, 20, 60), rng.standard_normal(60))
+        csr = coo_to_csr(coo)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(csr.spmv_rowwise(x), csr.spmv(x),
+                                   rtol=1e-12)
+
+    def test_empty_rows_handled(self):
+        # Rows 0 and 2 empty — the reduceat sharp edge.
+        coo = COOMatrix((4, 4), [1, 3], [0, 3], [5.0, 7.0])
+        csr = coo_to_csr(coo)
+        y = csr.spmv(np.ones(4))
+        np.testing.assert_allclose(y, [0.0, 5.0, 0.0, 7.0])
+
+    def test_all_empty(self):
+        csr = coo_to_csr(COOMatrix.empty((5, 5)))
+        assert csr.spmv(np.ones(5)).tolist() == [0.0] * 5
+
+    def test_footprint(self):
+        csr = CSRMatrix((2, 3), [0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+        # 3 values * 8 + 3 idx * 4 + 3 ptrs * 4
+        assert csr.footprint_bytes() == 24 + 12 + 12
+        csr16 = CSRMatrix((2, 3), [0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0],
+                          index_width=IndexWidth.I16)
+        assert csr16.footprint_bytes() == 24 + 6 + 12
+
+    def test_row_slice(self, small_coo, rng):
+        csr = coo_to_csr(small_coo)
+        m = csr.nrows
+        r0, r1 = m // 4, max(m // 4 + 1, 3 * m // 4)
+        r1 = min(r1, m)
+        sl = csr.row_slice(r0, r1)
+        np.testing.assert_allclose(
+            sl.toarray(), small_coo.toarray()[r0:r1, :]
+        )
+
+    def test_row_slice_bad_range(self, small_coo):
+        csr = coo_to_csr(small_coo)
+        with pytest.raises(MatrixFormatError):
+            csr.row_slice(2, 1)
+
+
+class TestGCSR:
+    def test_roundtrip(self, small_coo):
+        g = to_gcsr(small_coo)
+        np.testing.assert_allclose(g.toarray(), small_coo.toarray())
+
+    def test_spmv(self, small_coo, rng):
+        g = to_gcsr(small_coo)
+        x = rng.standard_normal(g.ncols)
+        np.testing.assert_allclose(g.spmv(x), small_coo.toarray() @ x,
+                                   rtol=1e-12)
+
+    def test_empty_rows_cost_nothing(self):
+        # 100 rows, only 2 non-empty: GCSR beats CSR on pointer bytes.
+        coo = COOMatrix((100, 10), [3, 97], [1, 2], [1.0, 2.0])
+        g = to_gcsr(coo)
+        csr = coo_to_csr(coo)
+        assert g.n_stored_rows == 2
+        assert g.footprint_bytes() < csr.footprint_bytes()
+
+    def test_row_ids_strictly_ascending_enforced(self):
+        from repro.formats import GCSRMatrix
+
+        with pytest.raises(MatrixFormatError):
+            GCSRMatrix((5, 5), [2, 2], [0, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_rejects_empty_stored_row(self):
+        from repro.formats import GCSRMatrix
+
+        with pytest.raises(MatrixFormatError):
+            GCSRMatrix((5, 5), [1, 2], [0, 0, 2], [0, 1], [1.0, 2.0])

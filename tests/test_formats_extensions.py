@@ -1,0 +1,142 @@
+"""Symmetric storage and multiple-vector SpMM extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.formats import COOMatrix, coo_to_csr, to_bcsr, to_cache_blocked
+from repro.formats.convert import uniform_block_specs
+from repro.formats.multivector import spmm, spmm_intensity_gain
+from repro.formats.symmetric import SymmetricCSRMatrix
+from tests.conftest import random_coo
+
+
+def symmetric_coo(n, density, seed):
+    a = random_coo(n, n, density, seed=seed)
+    at = a.transpose()
+    row = np.concatenate([a.row, at.row])
+    col = np.concatenate([a.col, at.col])
+    val = np.concatenate([a.val / 2, at.val / 2])
+    return COOMatrix((n, n), row, col, val)
+
+
+class TestSymmetric:
+    def test_roundtrip(self):
+        coo = symmetric_coo(60, 0.08, seed=1)
+        s = SymmetricCSRMatrix.from_coo(coo)
+        np.testing.assert_allclose(s.toarray(), coo.toarray(), rtol=1e-12)
+
+    def test_spmv(self, rng):
+        coo = symmetric_coo(80, 0.05, seed=2)
+        s = SymmetricCSRMatrix.from_coo(coo)
+        x = rng.standard_normal(80)
+        np.testing.assert_allclose(s.spmv(x), coo.toarray() @ x,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_diagonal_not_doubled(self, rng):
+        coo = COOMatrix((3, 3), [0, 1, 2], [0, 1, 2], [2.0, 3.0, 4.0])
+        s = SymmetricCSRMatrix.from_coo(coo)
+        np.testing.assert_allclose(
+            s.spmv(np.ones(3)), [2.0, 3.0, 4.0]
+        )
+
+    def test_footprint_nearly_halved(self):
+        coo = symmetric_coo(200, 0.05, seed=3)
+        s = SymmetricCSRMatrix.from_coo(coo)
+        full = coo_to_csr(coo)
+        assert s.footprint_bytes() < 0.62 * full.footprint_bytes()
+
+    def test_nnz_logical_counts_both_triangles(self):
+        coo = symmetric_coo(100, 0.05, seed=4)
+        s = SymmetricCSRMatrix.from_coo(coo)
+        assert s.nnz_logical == coo.nnz_logical
+        assert s.nnz_stored < coo.nnz_logical
+
+    def test_rejects_asymmetric(self):
+        a = COOMatrix((3, 3), [0], [1], [1.0])
+        with pytest.raises(MatrixFormatError):
+            SymmetricCSRMatrix.from_coo(a)
+
+    def test_rejects_rectangular(self):
+        a = COOMatrix((3, 4), [0], [1], [1.0])
+        with pytest.raises(MatrixFormatError):
+            SymmetricCSRMatrix.from_coo(a)
+
+    def test_rejects_upper_triangle_storage(self):
+        with pytest.raises(MatrixFormatError):
+            SymmetricCSRMatrix(2, [0, 1, 1], [1], [1.0])
+
+    def test_accumulates(self, rng):
+        coo = symmetric_coo(40, 0.1, seed=5)
+        s = SymmetricCSRMatrix.from_coo(coo)
+        x = rng.standard_normal(40)
+        y0 = rng.standard_normal(40)
+        np.testing.assert_allclose(
+            s.spmv(x, y0.copy()), y0 + coo.toarray() @ x,
+            rtol=1e-9, atol=1e-9,
+        )
+
+
+class TestSpMM:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_csr(self, rng, k):
+        coo = random_coo(50, 40, 0.1, seed=6)
+        csr = coo_to_csr(coo)
+        x = rng.standard_normal((40, k))
+        np.testing.assert_allclose(spmm(csr, x), coo.toarray() @ x,
+                                   rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_bcsr(self, rng, k):
+        coo = random_coo(48, 48, 0.1, seed=7)
+        b = to_bcsr(coo, 2, 2)
+        x = rng.standard_normal((48, k))
+        np.testing.assert_allclose(spmm(b, x), coo.toarray() @ x,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_cache_blocked(self, rng):
+        coo = random_coo(90, 70, 0.08, seed=8)
+        cb = to_cache_blocked(coo, uniform_block_specs((90, 70), 30, 35))
+        x = rng.standard_normal((70, 4))
+        np.testing.assert_allclose(spmm(cb, x), coo.toarray() @ x,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_coo(self, rng):
+        coo = random_coo(30, 30, 0.2, seed=9)
+        x = rng.standard_normal((30, 3))
+        np.testing.assert_allclose(spmm(coo, x), coo.toarray() @ x,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_accumulates(self, rng):
+        coo = random_coo(20, 20, 0.2, seed=10)
+        csr = coo_to_csr(coo)
+        x = rng.standard_normal((20, 2))
+        y0 = rng.standard_normal((20, 2))
+        np.testing.assert_allclose(
+            spmm(csr, x, y0.copy()), y0 + coo.toarray() @ x,
+            rtol=1e-9, atol=1e-9,
+        )
+
+    def test_bad_shapes(self, rng):
+        coo = random_coo(10, 10, 0.2, seed=11)
+        csr = coo_to_csr(coo)
+        with pytest.raises(MatrixFormatError):
+            spmm(csr, np.ones((11, 2)))
+        with pytest.raises(MatrixFormatError):
+            spmm(csr, np.ones((10, 2)), np.ones((10, 3)))
+
+    def test_intensity_gain_grows_with_k(self):
+        coo = random_coo(500, 500, 0.01, seed=12)
+        csr = coo_to_csr(coo)
+        g1 = spmm_intensity_gain(csr, 1)
+        g4 = spmm_intensity_gain(csr, 4)
+        g16 = spmm_intensity_gain(csr, 16)
+        assert g1 == pytest.approx(1.0)
+        assert 1.0 < g4 < g16
+
+    def test_intensity_gain_bad_k(self):
+        coo = random_coo(10, 10, 0.2, seed=13)
+        with pytest.raises(MatrixFormatError):
+            spmm_intensity_gain(coo_to_csr(coo), 0)

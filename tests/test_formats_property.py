@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) on formats and kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    COOMatrix,
+    coo_to_csr,
+    to_bcoo,
+    to_bcsr,
+    to_cache_blocked,
+    to_gcsr,
+)
+from repro.formats.convert import uniform_block_specs
+from repro.formats.footprint import naive_footprint_bytes
+
+
+@st.composite
+def coo_matrices(draw, max_dim=80, max_nnz=200):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, min(max_nnz, m * n)))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    if nnz:
+        key = np.unique(rng.integers(0, m * n, nnz))
+        rows, cols = key // n, key % n
+        vals = rng.standard_normal(len(rows))
+        # Avoid exact zeros so nnz bookkeeping is unambiguous.
+        vals[vals == 0.0] = 1.0
+    else:
+        rows = cols = np.zeros(0, dtype=np.int64)
+        vals = np.zeros(0)
+    return COOMatrix((m, n), rows, cols, vals, dedupe=False)
+
+
+CONVERTERS = [
+    ("csr", lambda c: coo_to_csr(c)),
+    ("gcsr", lambda c: to_gcsr(c)),
+    ("bcsr22", lambda c: to_bcsr(c, 2, 2)),
+    ("bcsr41", lambda c: to_bcsr(c, 4, 1)),
+    ("bcoo22", lambda c: to_bcoo(c, 2, 2)),
+    ("bcoo14", lambda c: to_bcoo(c, 1, 4)),
+]
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices())
+    def test_all_formats_roundtrip(self, coo):
+        dense = coo.toarray()
+        for name, conv in CONVERTERS:
+            mat = conv(coo)
+            np.testing.assert_allclose(mat.toarray(), dense,
+                                       rtol=1e-12, err_msg=name)
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices(), seed=st.integers(0, 2**31))
+    def test_all_formats_spmv_agree(self, coo, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(coo.ncols)
+        expected = coo.toarray() @ x
+        for name, conv in CONVERTERS:
+            got = conv(coo).spmv(x)
+            np.testing.assert_allclose(got, expected, rtol=1e-9,
+                                       atol=1e-9, err_msg=name)
+
+
+class TestLinearity:
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(), seed=st.integers(0, 2**31),
+           alpha=st.floats(-10, 10, allow_nan=False))
+    def test_spmv_linear(self, coo, seed, alpha):
+        rng = np.random.default_rng(seed)
+        csr = coo_to_csr(coo)
+        x1 = rng.standard_normal(coo.ncols)
+        x2 = rng.standard_normal(coo.ncols)
+        lhs = csr.spmv(x1 + alpha * x2)
+        rhs = csr.spmv(x1) + alpha * csr.spmv(x2)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-8, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(), seed=st.integers(0, 2**31))
+    def test_accumulation_property(self, coo, seed):
+        rng = np.random.default_rng(seed)
+        csr = coo_to_csr(coo)
+        x = rng.standard_normal(coo.ncols)
+        y0 = rng.standard_normal(coo.nrows)
+        np.testing.assert_allclose(
+            csr.spmv(x, y0.copy()), y0 + csr.spmv(x),
+            rtol=1e-9, atol=1e-9,
+        )
+
+
+class TestFootprintInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices())
+    def test_value_bytes_floor(self, coo):
+        """Every format stores at least 8 bytes per logical nonzero."""
+        for name, conv in CONVERTERS:
+            mat = conv(coo)
+            assert mat.footprint_bytes() >= 8 * coo.nnz_logical, name
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices())
+    def test_stored_at_least_logical(self, coo):
+        for name, conv in CONVERTERS:
+            mat = conv(coo)
+            assert mat.nnz_stored >= mat.nnz_logical, name
+            assert mat.nnz_logical == coo.nnz_logical, name
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices())
+    def test_heuristic_never_beats_naive_by_magic(self, coo):
+        """The footprint heuristic's choice is bounded below by the
+        8-bytes-per-value floor and above by ~the naive encoding plus
+        pointer overhead."""
+        if coo.nnz_logical == 0:
+            return
+        from repro.core.heuristics import choose_block_format
+
+        choice = choose_block_format(coo)
+        assert choice.footprint >= 8 * coo.nnz_logical
+        naive = naive_footprint_bytes(coo.nnz_logical)
+        ptr_overhead = 4 * (coo.nrows + 2)
+        assert choice.footprint <= naive + ptr_overhead
+
+
+class TestCacheBlockedProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(coo=coo_matrices(), br=st.integers(4, 40),
+           bc=st.integers(4, 40), seed=st.integers(0, 2**31))
+    def test_any_uniform_blocking_preserves_spmv(self, coo, br, bc, seed):
+        rng = np.random.default_rng(seed)
+        cb = to_cache_blocked(coo, uniform_block_specs(coo.shape, br, bc))
+        x = rng.standard_normal(coo.ncols)
+        np.testing.assert_allclose(
+            cb.spmv(x), coo.toarray() @ x, rtol=1e-9, atol=1e-9
+        )
+        assert cb.nnz_logical == coo.nnz_logical
+
+
+class TestPartitionProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(max_dim=120), parts=st.integers(1, 8))
+    def test_balanced_partition_invariants(self, coo, parts):
+        from repro.parallel import partition_rows_balanced
+
+        parts = min(parts, max(coo.nrows, 1))
+        p = partition_rows_balanced(coo, parts)
+        assert p.bounds[0] == 0 and p.bounds[-1] == coo.nrows
+        assert (np.diff(p.bounds) >= 0).all()
+        assert p.nnz_per_part.sum() == coo.nnz_logical
+        assert (p.nnz_per_part >= 0).all()

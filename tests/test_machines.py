@@ -1,0 +1,147 @@
+"""Machine model invariants: every Table 1 number must be derivable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machines import (
+    CacheLevel,
+    CoreArch,
+    Machine,
+    MemorySystem,
+    TLBConfig,
+    all_machines,
+    amd_x2,
+    cell_blade,
+    cell_ps3,
+    clovertown,
+    get_machine,
+    machine_names,
+    niagara,
+)
+
+
+class TestTable1:
+    """Derived properties must reproduce Table 1's rows."""
+
+    def test_peak_gflops(self):
+        assert amd_x2.peak_dp_gflops == pytest.approx(17.6, rel=0.01)
+        assert clovertown.peak_dp_gflops == pytest.approx(74.7, rel=0.01)
+        assert niagara.peak_dp_gflops == pytest.approx(8.0, rel=0.01)
+        assert cell_ps3.peak_dp_gflops == pytest.approx(11.0, rel=0.02)
+        assert cell_blade.peak_dp_gflops == pytest.approx(29.2, rel=0.02)
+
+    def test_dram_bandwidth(self):
+        assert amd_x2.peak_bw / 1e9 == pytest.approx(21.3, rel=0.01)
+        assert niagara.peak_bw / 1e9 == pytest.approx(25.6, rel=0.01)
+        assert cell_ps3.peak_bw / 1e9 == pytest.approx(25.6, rel=0.01)
+        assert cell_blade.peak_bw / 1e9 == pytest.approx(51.2, rel=0.01)
+
+    def test_flop_byte_ratios(self):
+        # Table 1: AMD 0.83, Clovertown 3.52 (vs 21.3 GB/s DRAM pool),
+        # Niagara 0.31, PS3 0.43, Blade 0.57.
+        assert amd_x2.flop_byte_ratio == pytest.approx(0.83, abs=0.03)
+        assert niagara.flop_byte_ratio == pytest.approx(0.31, abs=0.02)
+        assert cell_ps3.flop_byte_ratio == pytest.approx(0.43, abs=0.02)
+        assert cell_blade.flop_byte_ratio == pytest.approx(0.57, abs=0.02)
+
+    def test_clovertown_flop_byte_vs_chipset(self):
+        # Our model treats the per-socket FSB as the binding resource;
+        # against the chipset's 21.3 GB/s the ratio is the paper's 3.52.
+        chipset_bw = 21.3e9
+        ratio = clovertown.peak_dp_gflops * 1e9 / chipset_bw
+        assert ratio == pytest.approx(3.52, abs=0.05)
+
+    def test_core_counts(self):
+        assert amd_x2.n_cores == 4
+        assert clovertown.n_cores == 8
+        assert niagara.n_cores == 8 and niagara.n_threads == 32
+        assert cell_ps3.n_cores == 6
+        assert cell_blade.n_cores == 16
+
+    def test_llc_totals(self):
+        assert amd_x2.total_llc_bytes == 4 * 2**20       # 1MB x 4 cores
+        assert clovertown.total_llc_bytes == 16 * 2**20  # 4MB x 4 dies
+        assert niagara.total_llc_bytes == 3 * 2**20
+        assert cell_ps3.total_llc_bytes == 0
+
+    def test_power(self):
+        assert amd_x2.watts_system == 275
+        assert clovertown.watts_system == 333
+        assert niagara.watts_system == 267
+        assert cell_ps3.watts_system == 200
+        assert cell_blade.watts_system == 315
+
+    def test_describe_keys(self):
+        row = amd_x2.describe()
+        assert row["name"] == "AMD X2"
+        assert row["dp_gflops_system"] == pytest.approx(17.6, rel=0.01)
+
+
+class TestRegistry:
+    def test_five_machines(self):
+        assert len(all_machines()) == 5
+        assert machine_names() == [
+            "AMD X2", "Clovertown", "Niagara", "Cell (PS3)", "Cell Blade"
+        ]
+
+    def test_lookup(self):
+        assert get_machine("Niagara") is niagara
+
+    def test_unknown(self):
+        with pytest.raises(MachineModelError):
+            get_machine("Itanium")
+
+
+class TestValidation:
+    def test_cache_size_line_mismatch(self):
+        with pytest.raises(MachineModelError):
+            CacheLevel("L1", 1000, 64, 2, 3.0)
+
+    def test_cache_assoc_mismatch(self):
+        with pytest.raises(MachineModelError):
+            CacheLevel("L1", 64 * 1024, 64, 3, 3.0)
+
+    def test_tlb_reach(self):
+        t = TLBConfig(32, 4096, 25.0)
+        assert t.reach_bytes == 128 * 1024
+
+    def test_bad_tlb(self):
+        with pytest.raises(MachineModelError):
+            TLBConfig(0, 4096, 25.0)
+
+    def test_core_validation(self):
+        with pytest.raises(MachineModelError):
+            CoreArch("bad", 0.0, 1, True, 1.0, 1, 1, 1.0, 1.0, 1.0)
+
+    def test_memory_validation(self):
+        with pytest.raises(MachineModelError):
+            MemorySystem("X", 1e9, 1e-7, 1.5, 64, False)
+
+    def test_machine_rejects_cache_and_local_store(self):
+        with pytest.raises(MachineModelError):
+            Machine(
+                name="bad", sockets=1, cores_per_socket=1,
+                core=niagara.core,
+                cache_levels=(CacheLevel("L1", 8192, 16, 4, 3.0),),
+                tlb=None, mem=niagara.mem, local_store_bytes=1024,
+            )
+
+    def test_machine_rejects_oversharing(self):
+        with pytest.raises(MachineModelError):
+            Machine(
+                name="bad", sockets=1, cores_per_socket=2,
+                core=niagara.core,
+                cache_levels=(
+                    CacheLevel("L2", 8192, 16, 4, 3.0, shared_by_cores=4),
+                ),
+                tlb=None, mem=niagara.mem,
+            )
+
+    def test_niagara_is_integer_proxy(self):
+        assert niagara.core.flop_is_integer_proxy
+
+    def test_cell_spe_dp_throughput(self):
+        # 1.83 Gflop/s per SPE (Table 1).
+        assert cell_ps3.core.peak_dp_gflops == pytest.approx(1.83, abs=0.01)

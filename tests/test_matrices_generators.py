@@ -1,0 +1,169 @@
+"""Unit tests for the synthetic matrix generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    clustered_rows_matrix,
+    dense_in_sparse,
+    fem_blocked_matrix,
+    lattice_qcd,
+    markov_grid,
+    power_law_graph,
+    scattered_matrix,
+    set_cover_lp,
+)
+from repro.matrices.stats import compute_stats
+
+
+class TestDense:
+    def test_full(self):
+        m = dense_in_sparse(16)
+        assert m.nnz_logical == 256
+        assert (m.toarray() != 0).all()
+
+    def test_deterministic(self):
+        a = dense_in_sparse(8, seed=3)
+        b = dense_in_sparse(8, seed=3)
+        np.testing.assert_array_equal(a.val, b.val)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            dense_in_sparse(-1)
+
+
+class TestFEM:
+    def test_dims_multiple_of_dof(self):
+        m = fem_blocked_matrix(1000, dof=3, nnz_per_row=30)
+        assert m.nrows % 3 == 0
+        assert m.nrows >= 1000
+
+    def test_nnz_per_row_close_to_target(self):
+        m = fem_blocked_matrix(3000, dof=3, nnz_per_row=30, seed=1)
+        avg = m.nnz_logical / m.nrows
+        assert avg == pytest.approx(30, rel=0.15)
+
+    def test_block_structure_present(self):
+        m = fem_blocked_matrix(600, dof=3, nnz_per_row=27, seed=2)
+        stats = compute_stats(m)
+        # dof=3 doesn't align with the 2x2/4x4 power-of-two grid, but 2x2
+        # fill should still beat what unstructured scatter would give.
+        scattered = scattered_matrix(600, nnz_per_row=27, diag_frac=0,
+                                     seed=2)
+        s2 = compute_stats(scattered)
+        assert stats.block_fill[(2, 2)] < s2.block_fill[(2, 2)]
+
+    def test_banded(self):
+        m = fem_blocked_matrix(3000, dof=2, nnz_per_row=20,
+                               bandwidth_frac=0.02, seed=3)
+        stats = compute_stats(m)
+        assert stats.diag_spread < 0.1
+
+    def test_bad_dof(self):
+        with pytest.raises(ValueError):
+            fem_blocked_matrix(100, dof=0, nnz_per_row=10)
+
+    def test_clustered_rows(self):
+        m = clustered_rows_matrix(500, nnz_per_row=24, run_len=6, seed=4)
+        stats = compute_stats(m)
+        # Contiguous runs make 1x4 blocking cheap (fill close to 1)...
+        assert stats.block_fill[(1, 4)] < 1.5
+        # ...much cheaper than 4x1 which crosses unrelated rows.
+        assert stats.block_fill[(1, 4)] < stats.block_fill[(4, 1)]
+
+    def test_clustered_bad_runlen(self):
+        with pytest.raises(ValueError):
+            clustered_rows_matrix(100, 10, run_len=0)
+
+
+class TestStencil:
+    def test_markov_grid_interior_degree(self):
+        m = markov_grid(30, 30)
+        counts = m.row_counts()
+        # Interior rows: self + 3 neighbors.
+        assert counts.max() == 4
+        assert m.nnz_logical / m.nrows == pytest.approx(4.0, rel=0.05)
+
+    def test_markov_grid_near_diagonal(self):
+        m = markov_grid(40, 40)
+        stats = compute_stats(m)
+        assert stats.diag_spread < 0.02
+
+    def test_markov_bad_dims(self):
+        with pytest.raises(ValueError):
+            markov_grid(0, 5)
+
+    def test_qcd_row_count(self):
+        m = lattice_qcd((2, 2, 2, 2), dof=12)
+        assert m.nrows == 16 * 12
+
+    def test_qcd_nnz_per_row(self):
+        m = lattice_qcd((4, 4, 4, 4), dof=12)
+        avg = m.nnz_logical / m.nrows
+        # 12 + 6*3 + 2*4 = 38 (torus, no boundary loss); duplicates on a
+        # tiny lattice can collapse a few entries.
+        assert avg == pytest.approx(38.0, rel=0.05)
+
+    def test_qcd_bad_fill(self):
+        with pytest.raises(ValueError):
+            lattice_qcd((2, 2, 2, 2), dof=4, neighbor_fill=9)
+
+
+class TestGraph:
+    def test_avg_degree(self):
+        g = power_law_graph(20_000, avg_degree=4.0, seed=5)
+        avg = g.nnz_logical / g.nrows
+        assert avg == pytest.approx(4.0, rel=0.25)
+
+    def test_heavy_tail(self):
+        g = power_law_graph(20_000, avg_degree=4.0, seed=6)
+        counts = g.row_counts()
+        assert counts.max() > 10 * counts.mean()
+
+    def test_diagonal_present(self):
+        g = power_law_graph(500, avg_degree=3.0, seed=7)
+        d = np.diag(g.toarray())
+        assert (d != 0).all()
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            power_law_graph(0, 3.0)
+        with pytest.raises(ValueError):
+            power_law_graph(10, -1.0)
+
+
+class TestLP:
+    def test_aspect_ratio(self):
+        m = set_cover_lp(100, 20_000, nnz_per_col=8, seed=8)
+        assert m.ncols / m.nrows == 200
+
+    def test_nnz_target(self):
+        # Small instances lose noticeably to duplicate collapse (the
+        # full-scale matrix loses <1%); allow a wide band here.
+        m = set_cover_lp(100, 20_000, nnz_per_col=8, seed=9)
+        assert m.nnz_logical == pytest.approx(160_000, rel=0.35)
+
+    def test_values_are_unit(self):
+        m = set_cover_lp(50, 500, nnz_per_col=4, seed=10)
+        assert set(np.unique(m.val)) <= {1.0}
+
+    def test_row_skew(self):
+        m = set_cover_lp(200, 50_000, nnz_per_col=10, seed=11)
+        counts = m.row_counts()
+        assert counts.max() > 3 * counts.mean()
+
+
+class TestScattered:
+    def test_diag_and_scatter(self):
+        m = scattered_matrix(1000, nnz_per_row=6, diag_frac=0.16, seed=12)
+        avg = m.nnz_logical / m.nrows
+        assert avg == pytest.approx(6, rel=0.15)
+
+    def test_no_block_structure(self):
+        m = scattered_matrix(2000, nnz_per_row=20, diag_frac=0, seed=13)
+        stats = compute_stats(m)
+        # Random scatter pads badly: 2x2 fill ratio near (but capped by
+        # chance adjacencies below) the worst case of 4.
+        assert stats.block_fill[(2, 2)] > 2.5

@@ -1,0 +1,136 @@
+"""Matrix file I/O tests."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.matrices import (
+    load_matrix,
+    load_matrix_market,
+    save_matrix,
+    save_matrix_market,
+)
+from tests.conftest import random_coo
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        coo = random_coo(40, 30, 0.1, seed=1)
+        path = tmp_path / "m.mtx"
+        save_matrix_market(path, coo)
+        back = load_matrix_market(path)
+        np.testing.assert_allclose(back.toarray(), coo.toarray(),
+                                   rtol=1e-12)
+
+    def test_roundtrip_via_stream(self):
+        coo = random_coo(10, 10, 0.3, seed=2)
+        buf = io.StringIO()
+        save_matrix_market(buf, coo)
+        buf.seek(0)
+        back = load_matrix_market(buf)
+        np.testing.assert_allclose(back.toarray(), coo.toarray())
+
+    def test_comment_written(self):
+        coo = random_coo(4, 4, 0.5, seed=3)
+        buf = io.StringIO()
+        save_matrix_market(buf, coo, comment="hello\nworld")
+        text = buf.getvalue()
+        assert "% hello" in text and "% world" in text
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 2.0\n"
+            "2 1 5.0\n"
+            "3 3 1.0\n"
+        )
+        m = load_matrix_market(io.StringIO(text))
+        d = m.toarray()
+        assert d[1, 0] == 5.0 and d[0, 1] == 5.0
+        assert d[0, 0] == 2.0 and d[2, 2] == 1.0
+        assert m.nnz_logical == 4
+
+    def test_skew_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        m = load_matrix_market(io.StringIO(text))
+        d = m.toarray()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_pattern_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n"
+            "2 3 2\n"
+            "1 3\n"
+            "2 1\n"
+        )
+        m = load_matrix_market(io.StringIO(text))
+        assert m.toarray()[0, 2] == 1.0
+        assert m.toarray()[1, 0] == 1.0
+
+    def test_integer_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n"
+            "1 1 7\n"
+        )
+        m = load_matrix_market(io.StringIO(text))
+        assert m.toarray()[0, 0] == 7.0
+
+    def test_empty_matrix(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 0\n"
+        m = load_matrix_market(io.StringIO(text))
+        assert m.nnz_logical == 0
+
+    def test_missing_header(self):
+        with pytest.raises(IOFormatError):
+            load_matrix_market(io.StringIO("2 2 1\n1 1 1.0\n"))
+
+    def test_complex_rejected(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n"
+        with pytest.raises(IOFormatError):
+            load_matrix_market(io.StringIO(text))
+
+    def test_array_format_rejected(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"
+        with pytest.raises(IOFormatError):
+            load_matrix_market(io.StringIO(text))
+
+    def test_wrong_entry_count(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(IOFormatError):
+            load_matrix_market(io.StringIO(text))
+
+    def test_bad_size_line(self):
+        text = "%%MatrixMarket matrix coordinate real general\nnope\n"
+        with pytest.raises(IOFormatError):
+            load_matrix_market(io.StringIO(text))
+
+
+class TestBinary:
+    def test_npz_roundtrip(self, tmp_path):
+        coo = random_coo(100, 50, 0.05, seed=4)
+        path = tmp_path / "m.npz"
+        save_matrix(path, coo)
+        back = load_matrix(path)
+        np.testing.assert_allclose(back.toarray(), coo.toarray())
+        assert back.shape == coo.shape
+
+    def test_not_a_matrix_file(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, foo=np.ones(3))
+        with pytest.raises(IOFormatError):
+            load_matrix(path)

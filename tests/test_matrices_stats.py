@@ -1,0 +1,93 @@
+"""Matrix structure statistics tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.matrices.stats import (
+    compute_stats,
+    nnz_per_row_per_cache_block,
+    spyplot_grid,
+)
+from tests.conftest import random_coo
+
+
+class TestComputeStats:
+    def test_basic_counts(self):
+        coo = COOMatrix((4, 4), [0, 0, 2], [1, 3, 2], [1.0, 2.0, 3.0])
+        s = compute_stats(coo)
+        assert s.nnz == 3
+        assert s.nnz_per_row_mean == pytest.approx(0.75)
+        assert s.nnz_per_row_max == 2
+        assert s.empty_rows == 2
+        assert s.density == pytest.approx(3 / 16)
+
+    def test_diagonal_concentration(self):
+        diag = COOMatrix((100, 100), np.arange(100), np.arange(100),
+                         np.ones(100))
+        s = compute_stats(diag)
+        assert s.diag_spread == pytest.approx(0.0)
+        assert s.diag_concentration == 1.0
+
+    def test_scatter_spread(self):
+        coo = random_coo(200, 200, 0.05, seed=1)
+        s = compute_stats(coo)
+        assert 0.1 < s.diag_spread < 0.5
+
+    def test_block_fill_bounds(self):
+        coo = random_coo(64, 64, 0.05, seed=2)
+        s = compute_stats(coo)
+        for (r, c), fill in s.block_fill.items():
+            assert 1.0 <= fill <= r * c
+
+    def test_empty_matrix(self):
+        s = compute_stats(COOMatrix.empty((5, 5)))
+        assert s.nnz == 0
+        assert s.block_fill[(2, 2)] == 1.0
+        assert s.best_block() in s.block_fill
+
+    def test_aspect_ratio(self):
+        coo = COOMatrix((10, 1000), [0], [5], [1.0])
+        assert compute_stats(coo).aspect_ratio == 100.0
+
+
+class TestCacheBlockDensity:
+    def test_dense_rows_stay_dense(self):
+        # A banded matrix keeps its per-block inner-loop length.
+        n = 1000
+        rows = np.repeat(np.arange(n), 5)
+        cols = (rows + np.tile(np.arange(5), n)) % n
+        coo = COOMatrix((n, n), rows, cols, np.ones(5 * n))
+        assert nnz_per_row_per_cache_block(coo, n) == pytest.approx(5.0)
+
+    def test_scatter_degrades(self):
+        coo = random_coo(500, 100_000, 0.0002, seed=3)
+        wide = nnz_per_row_per_cache_block(coo, 100_000)
+        narrow = nnz_per_row_per_cache_block(coo, 1000)
+        assert narrow < wide
+
+    def test_empty(self):
+        assert nnz_per_row_per_cache_block(COOMatrix.empty((5, 5)), 2) \
+            == 0.0
+
+
+class TestSpyplot:
+    def test_shape_and_range(self):
+        coo = random_coo(200, 300, 0.02, seed=4)
+        g = spyplot_grid(coo, grid=32)
+        assert g.shape == (32, 32)
+        assert g.min() >= 0.0 and g.max() <= 1.0
+
+    def test_diagonal_pattern(self):
+        diag = COOMatrix((128, 128), np.arange(128), np.arange(128),
+                         np.ones(128))
+        g = spyplot_grid(diag, grid=8)
+        assert (np.diag(g) > 0).all()
+        off = g - np.diag(np.diag(g))
+        assert off.sum() == 0.0
+
+    def test_empty(self):
+        g = spyplot_grid(COOMatrix.empty((10, 10)), grid=4)
+        assert g.sum() == 0.0

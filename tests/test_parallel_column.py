@@ -1,0 +1,62 @@
+"""Column-partitioned SpMV tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.parallel import (
+    column_parallel_spmv,
+    column_partition_traffic_factor,
+)
+from repro.parallel.column import split_cols
+from repro.parallel.partition import partition_cols_balanced
+from tests.conftest import random_coo
+
+
+class TestColumnParallel:
+    @pytest.mark.parametrize("n_parts", [1, 2, 3, 7])
+    def test_matches_reference(self, rng, n_parts):
+        coo = random_coo(60, 80, 0.08, seed=n_parts)
+        x = rng.standard_normal(80)
+        got = column_parallel_spmv(coo, x, n_parts=n_parts)
+        np.testing.assert_allclose(got, coo.toarray() @ x, rtol=1e-10,
+                                   atol=1e-12)
+
+    def test_accumulates(self, rng):
+        coo = random_coo(30, 30, 0.2, seed=9)
+        x = rng.standard_normal(30)
+        y0 = rng.standard_normal(30)
+        got = column_parallel_spmv(coo, x, n_parts=3, y=y0.copy())
+        np.testing.assert_allclose(got, y0 + coo.toarray() @ x,
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_more_parts_than_cols_clamped(self, rng):
+        coo = random_coo(10, 4, 0.5, seed=10)
+        x = rng.standard_normal(4)
+        got = column_parallel_spmv(coo, x, n_parts=16)
+        np.testing.assert_allclose(got, coo.toarray() @ x, rtol=1e-10)
+
+    def test_bad_parts(self, rng):
+        coo = random_coo(5, 5, 0.5, seed=11)
+        with pytest.raises(PartitionError):
+            column_parallel_spmv(coo, np.ones(5), n_parts=0)
+
+    def test_wrong_x(self, rng):
+        coo = random_coo(5, 5, 0.5, seed=12)
+        with pytest.raises(ValueError):
+            column_parallel_spmv(coo, np.ones(6), n_parts=2)
+
+    def test_split_cols_reassembles(self, rng):
+        coo = random_coo(20, 50, 0.15, seed=13)
+        part = partition_cols_balanced(coo, 4)
+        slabs = split_cols(coo, part)
+        dense = np.hstack([s.toarray() for s in slabs])
+        np.testing.assert_allclose(dense, coo.toarray())
+
+    def test_traffic_factor_grows(self):
+        coo = random_coo(100, 100, 0.05, seed=14)
+        f2 = column_partition_traffic_factor(coo, 2)
+        f8 = column_partition_traffic_factor(coo, 8)
+        assert 1.0 < f2 < f8

@@ -1,0 +1,82 @@
+"""Prefetch-distance tuning model (§4.1's 0..512-double sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machines import get_machine
+from repro.simulator.memory import (
+    per_core_demand_bw,
+    prefetch_distance_effectiveness,
+)
+
+
+class TestEffectivenessCurve:
+    def test_zero_distance_is_hw_only(self):
+        amd = get_machine("AMD X2")
+        assert prefetch_distance_effectiveness(amd, 0) == \
+            amd.mem.hw_prefetch_effectiveness
+
+    def test_monotone_ramp_to_optimum(self):
+        amd = get_machine("AMD X2")
+        effs = [prefetch_distance_effectiveness(amd, d)
+                for d in (0, 8, 16, 32, 64)]
+        assert all(b >= a - 1e-12 for a, b in zip(effs, effs[1:]))
+        assert max(effs) > 0.95
+
+    def test_deep_distance_decays_mildly(self):
+        amd = get_machine("AMD X2")
+        best = max(prefetch_distance_effectiveness(amd, d)
+                   for d in range(0, 513, 16))
+        at512 = prefetch_distance_effectiveness(amd, 512)
+        assert at512 < best
+        assert at512 > 0.85 * best
+
+    def test_never_below_hw_baseline(self):
+        amd = get_machine("AMD X2")
+        base = amd.mem.hw_prefetch_effectiveness
+        for d in (0, 1, 4, 512):
+            assert prefetch_distance_effectiveness(amd, d) >= base
+
+    def test_niagara_prefetch_useless(self):
+        """§4.1: Niagara prefetch only reaches the L2 — no distance
+        helps."""
+        nia = get_machine("Niagara")
+        for d in (0, 64, 512):
+            assert prefetch_distance_effectiveness(nia, d) == 1.0
+
+    def test_cell_dma_always_full(self):
+        cell = get_machine("Cell (PS3)")
+        assert prefetch_distance_effectiveness(cell, 0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            prefetch_distance_effectiveness(get_machine("AMD X2"), -1)
+
+
+class TestDemandIntegration:
+    def test_distance_sweep_shapes_bandwidth(self):
+        amd = get_machine("AMD X2")
+        bws = [
+            per_core_demand_bw(amd, prefetch_distance_doubles=d)
+            for d in (0, 16, 64, 256, 512)
+        ]
+        assert bws[0] < bws[2]            # ramp
+        assert bws[2] == pytest.approx(max(bws), rel=0.11)
+
+    def test_clovertown_insensitive(self):
+        """§6.3: "rarely any benefit from software prefetching"."""
+        clv = get_machine("Clovertown")
+        b0 = per_core_demand_bw(clv, prefetch_distance_doubles=0)
+        b64 = per_core_demand_bw(clv, prefetch_distance_doubles=64)
+        assert b64 / b0 < 1.15
+
+    def test_none_distance_means_full(self):
+        amd = get_machine("AMD X2")
+        assert per_core_demand_bw(amd) == per_core_demand_bw(
+            amd, prefetch_distance_doubles=10_000_000
+        ) or per_core_demand_bw(amd) >= per_core_demand_bw(
+            amd, prefetch_distance_doubles=512
+        )

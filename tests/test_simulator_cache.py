@@ -1,0 +1,129 @@
+"""Exact cache simulator + analytic traffic model cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machines.model import CacheLevel
+from repro.simulator.cache import (
+    CacheSim,
+    simulate_access_stream,
+    spmv_source_vector_misses,
+)
+from repro.simulator.cache_analytic import unique_lines, vector_traffic
+
+TINY = CacheLevel("T", 1024, 64, 2, 1.0)       # 16 lines, 2-way
+BIG = CacheLevel("B", 64 * 1024, 64, 8, 1.0)   # plenty
+
+
+class TestCacheSim:
+    def test_first_access_misses(self):
+        sim = CacheSim(TINY)
+        assert sim.access(0) is False
+        assert sim.stats.misses == 1
+
+    def test_reuse_hits(self):
+        sim = CacheSim(TINY)
+        sim.access(0)
+        assert sim.access(8) is True  # same 64B line
+        assert sim.stats.hits == 1
+
+    def test_lru_eviction(self):
+        sim = CacheSim(TINY)
+        # Three lines mapping to the same set of a 2-way cache:
+        # set count = 1024/64/2 = 8, stride of 8 lines hits one set.
+        a, b, c = 0, 8 * 64, 16 * 64
+        sim.access(a); sim.access(b); sim.access(c)  # evicts a
+        assert sim.access(a) is False
+        assert sim.stats.evictions >= 1
+
+    def test_lru_order_respected(self):
+        sim = CacheSim(TINY)
+        a, b, c = 0, 8 * 64, 16 * 64
+        sim.access(a); sim.access(b)
+        sim.access(a)          # a becomes MRU
+        sim.access(c)          # evicts b, not a
+        assert sim.access(a) is True
+        assert sim.access(b) is False
+
+    def test_stream_compulsory_only(self):
+        # Streaming through a big cache: one miss per line.
+        addrs = np.arange(0, 8192, 8)
+        stats = simulate_access_stream(BIG, addrs)
+        assert stats.misses == 8192 // 64
+        assert stats.accesses == len(addrs)
+
+    def test_misses_bounded_by_accesses(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 100_000, 5000) * 8
+        stats = simulate_access_stream(TINY, addrs)
+        assert 0 < stats.misses <= stats.accesses
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_access_stream(TINY, np.array([-8]))
+
+    def test_reset(self):
+        sim = CacheSim(TINY)
+        sim.access(0)
+        sim.reset()
+        assert sim.stats.accesses == 0
+        assert sim.resident_lines() == 0
+
+    def test_miss_bytes(self):
+        stats = simulate_access_stream(BIG, np.arange(0, 640, 8))
+        assert stats.miss_bytes == stats.misses * 64
+
+
+class TestAnalyticModel:
+    def test_unique_lines(self):
+        # 8 doubles per 64B line: indices 0..15 span 2 lines.
+        assert unique_lines(np.arange(16), 64) == 2
+        assert unique_lines(np.array([]), 64) == 0
+
+    def test_fits_in_cache_compulsory_only(self):
+        cols = np.tile(np.arange(64), 10)  # heavy reuse, tiny span
+        vt = vector_traffic(cols, n_rows_touched=10, cache=BIG,
+                            x_span_elems=64)
+        assert vt.x_bytes == vt.x_unique_lines * 64
+
+    def test_overflow_charges_capacity(self):
+        rng = np.random.default_rng(1)
+        span = 100_000
+        cols = rng.integers(0, span, 20_000)
+        vt_small = vector_traffic(cols, 100, TINY, x_span_elems=span)
+        vt_big = vector_traffic(cols, 100, BIG, x_span_elems=span)
+        assert vt_small.x_bytes > vt_big.x_bytes
+
+    def test_y_write_allocate_doubles(self):
+        cols = np.arange(100)
+        a = vector_traffic(cols, 1000, BIG, x_span_elems=100,
+                           write_allocate=True)
+        b = vector_traffic(cols, 1000, BIG, x_span_elems=100,
+                           write_allocate=False)
+        assert a.y_bytes == pytest.approx(2 * b.y_bytes)
+
+    def test_local_store_charges_span(self):
+        cols = np.array([0, 5000])
+        vt = vector_traffic(cols, 10, None, x_span_elems=8192)
+        assert vt.x_bytes == 8192 * 8
+
+    def test_against_exact_simulator(self):
+        """Analytic x-traffic within 2x of the exact simulator across
+        regimes (it is a bound-flavored estimate, not a clone)."""
+        rng = np.random.default_rng(2)
+        for span, n_acc in [(512, 5000), (8192, 5000), (65536, 20000)]:
+            cols = rng.integers(0, span, n_acc)
+            exact = spmv_source_vector_misses(TINY, cols).misses * 64
+            model = vector_traffic(cols, 1, TINY,
+                                   x_span_elems=span).x_bytes
+            assert model <= exact * 2.0
+            assert model >= exact * 0.3
+
+    def test_analytic_compulsory_floor(self):
+        rng = np.random.default_rng(3)
+        cols = rng.integers(0, 4096, 3000)
+        vt = vector_traffic(cols, 1, TINY, x_span_elems=4096)
+        assert vt.x_bytes >= vt.x_unique_lines * 64

@@ -1,0 +1,128 @@
+"""Kernel-cost model tests, anchored to the paper's Niagara arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machines import get_machine
+from repro.simulator.cpu import (
+    KernelVariant,
+    kernel_cycles,
+    naive_csr_variant,
+    optimized_variant,
+)
+
+
+def csr_costs(core, nnz, rows, variant):
+    return kernel_cycles(
+        core, format_name="csr", r=1, c=1, ntiles=nnz, nnz_stored=nnz,
+        n_segments=rows, variant=variant,
+    )
+
+
+class TestNiagaraAnchor:
+    """§6.1: ~10 cycles of instruction execution plus ~10 cycles of
+    multiply latency per naive 1x1 CSR nonzero on Niagara."""
+
+    def test_naive_cycles_per_nonzero(self):
+        core = get_machine("Niagara").core
+        nnz, rows = 10_000, 200  # 50 nnz/row
+        costs = csr_costs(core, nnz, rows, naive_csr_variant())
+        per_nnz = costs.total_cycles / nnz
+        assert 14 <= per_nnz <= 24  # ~10 issue + ~10 stall
+
+    def test_pipelining_removes_stall(self):
+        core = get_machine("Niagara").core
+        naive = csr_costs(core, 10_000, 200, naive_csr_variant())
+        opt = csr_costs(core, 10_000, 200, optimized_variant(core))
+        assert opt.stall_cycles == 0
+        assert naive.stall_cycles == pytest.approx(10.0 * 10_000)
+        assert opt.total_cycles < naive.total_cycles
+
+
+class TestVariants:
+    def test_simd_reduces_issue_on_x86(self):
+        core = get_machine("Clovertown").core
+        scalar = kernel_cycles(core, format_name="bcsr", r=2, c=2,
+                               ntiles=1000, nnz_stored=4000,
+                               n_segments=100,
+                               variant=KernelVariant(simd=False))
+        simd = kernel_cycles(core, format_name="bcsr", r=2, c=2,
+                             ntiles=1000, nnz_stored=4000,
+                             n_segments=100,
+                             variant=KernelVariant(simd=True))
+        assert simd.issue_cycles < scalar.issue_cycles
+
+    def test_branchless_trades_mispredicts_for_ops(self):
+        core = get_machine("Cell (PS3)").core
+        branchy = csr_costs(core, 6000, 1000, KernelVariant())
+        branchless = csr_costs(core, 6000, 1000,
+                               KernelVariant(branchless=True))
+        assert branchy.mispredict_cycles > 0
+        assert branchless.mispredict_cycles == 0
+        assert branchless.issue_cycles > branchy.issue_cycles
+
+    def test_ooo_hides_most_mispredict(self):
+        x86 = get_machine("AMD X2").core
+        spe = get_machine("Cell (PS3)").core
+        a = csr_costs(x86, 6000, 1000, KernelVariant())
+        b = csr_costs(spe, 6000, 1000, KernelVariant())
+        per_seg_x86 = a.mispredict_cycles / 1000
+        per_seg_spe = b.mispredict_cycles / 1000
+        assert per_seg_x86 < x86.branch_miss_penalty_cycles
+        assert per_seg_spe == pytest.approx(spe.branch_miss_penalty_cycles)
+
+
+class TestShapes:
+    def test_register_blocking_cuts_per_nnz_ops(self):
+        core = get_machine("AMD X2").core
+        v = optimized_variant(core)
+        unblocked = csr_costs(core, 16_000, 1000, v)
+        blocked = kernel_cycles(core, format_name="bcsr", r=4, c=4,
+                                ntiles=1000, nnz_stored=16_000,
+                                n_segments=250, variant=v)
+        assert blocked.total_cycles < unblocked.total_cycles
+
+    def test_short_rows_cost_more_per_nnz(self):
+        core = get_machine("Cell (PS3)").core
+        v = optimized_variant(core)
+        long_rows = csr_costs(core, 60_000, 500, v)    # 120 nnz/row
+        short_rows = csr_costs(core, 60_000, 15_000, v)  # 4 nnz/row
+        assert short_rows.total_cycles > 1.5 * long_rows.total_cycles
+
+    def test_cell_fp_pipe_dominates_dense(self):
+        core = get_machine("Cell (PS3)").core
+        v = optimized_variant(core)
+        costs = kernel_cycles(core, format_name="bcsr", r=2, c=2,
+                              ntiles=10_000, nnz_stored=40_000,
+                              n_segments=100, variant=v)
+        assert costs.fp_cycles > costs.issue_cycles
+        # 2 flops per value through the 4/7-per-cycle pipe: 3.5 cyc/nnz.
+        assert costs.fp_cycles / 40_000 == pytest.approx(3.5)
+
+    def test_bcoo_charges_scatter(self):
+        core = get_machine("AMD X2").core
+        v = optimized_variant(core)
+        bcsr = kernel_cycles(core, format_name="bcsr", r=1, c=1,
+                             ntiles=5000, nnz_stored=5000,
+                             n_segments=2500, variant=v)
+        bcoo = kernel_cycles(core, format_name="bcoo", r=1, c=1,
+                             ntiles=5000, nnz_stored=5000,
+                             n_segments=0, variant=v)
+        # BCOO pays per-tile scatter but no segment machinery or
+        # mispredicts; both must be finite and positive.
+        assert bcoo.total_cycles > 0 and bcsr.total_cycles > 0
+        assert bcoo.mispredict_cycles == 0
+
+    def test_empty_block_is_free(self):
+        core = get_machine("AMD X2").core
+        costs = kernel_cycles(core, format_name="csr", r=1, c=1,
+                              ntiles=0, nnz_stored=0, n_segments=0)
+        assert costs.total_cycles == 0
+
+    def test_negative_counts_rejected(self):
+        core = get_machine("AMD X2").core
+        with pytest.raises(SimulationError):
+            kernel_cycles(core, format_name="csr", r=1, c=1, ntiles=-1,
+                          nnz_stored=1, n_segments=1)

@@ -1,0 +1,129 @@
+"""Executor composition semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.formats import coo_to_csr, to_cache_blocked
+from repro.formats.convert import uniform_block_specs
+from repro.machines import PlacementPolicy, get_machine
+from repro.simulator.cpu import KernelVariant
+from repro.simulator.executor import simulate_plan, simulate_spmv
+from repro.simulator.traffic import profile_from_matrix
+from tests.conftest import random_coo
+
+
+def make_profile(machine_name="AMD X2", n_threads=1, m=4000, n=4000,
+                 density=0.002, seed=0, block_rows=None):
+    coo = random_coo(m, n, density, seed=seed)
+    if block_rows:
+        mat = to_cache_blocked(
+            coo, uniform_block_specs((m, n), block_rows, n)
+        )
+    else:
+        mat = coo_to_csr(coo)
+    return profile_from_matrix(mat, get_machine(machine_name),
+                               n_threads=n_threads)
+
+
+class TestComposition:
+    def test_result_fields_consistent(self):
+        m = get_machine("AMD X2")
+        prof = make_profile()
+        res = simulate_plan(m, prof, sockets=1, cores_per_socket=1)
+        assert res.time_s > 0
+        assert res.gflops == pytest.approx(
+            2 * prof.nnz_logical / res.time_s / 1e9
+        )
+        assert res.sustained_gbs == pytest.approx(
+            res.traffic.total / res.time_s / 1e9
+        )
+        assert res.time_s == pytest.approx(
+            max(res.compute_time_s, res.memory_time_s)
+        )
+
+    def test_inorder_no_prefetch_serializes(self):
+        m = get_machine("Niagara")
+        prof = make_profile("Niagara")
+        res = simulate_plan(m, prof, sockets=1, cores_per_socket=1,
+                            sw_prefetch=False)
+        # In-order single thread, no usable prefetch: compute + memory.
+        assert res.time_s == pytest.approx(
+            res.compute_time_s + res.memory_time_s
+        )
+
+    def test_cmt_restores_overlap(self):
+        m = get_machine("Niagara")
+        prof = make_profile("Niagara", n_threads=2, block_rows=2000)
+        res = simulate_plan(m, prof, sockets=1, cores_per_socket=1,
+                            threads_per_core=2)
+        assert res.time_s == pytest.approx(
+            max(res.compute_time_s, res.memory_time_s)
+        )
+
+    def test_thread_count_mismatch_rejected(self):
+        m = get_machine("AMD X2")
+        prof = make_profile(n_threads=1)
+        with pytest.raises(SimulationError):
+            simulate_plan(m, prof, sockets=2, cores_per_socket=2)
+
+    def test_imbalance_slows_memory_time(self):
+        m = get_machine("AMD X2")
+        # Two blocks of very different size on two threads.
+        coo = random_coo(4000, 4000, 0.002, seed=1)
+        blocked = to_cache_blocked(
+            coo, [(0, 200, 0, 4000), (200, 4000, 0, 4000)]
+        )
+        uneven = profile_from_matrix(blocked, m, n_threads=2,
+                                     thread_of_block=[0, 1])
+        res = simulate_plan(m, uneven, sockets=1, cores_per_socket=2)
+        assert res.imbalance > 1.5
+        # Same blocks, both on one thread's worth each but balanced:
+        # compare against the perfectly even assignment of identical
+        # traffic (memory time scales with the imbalance factor).
+        even = profile_from_matrix(blocked, m, n_threads=2,
+                                   thread_of_block=[0, 0])
+        even = even.retarget_threads(2)  # greedy: one block per thread
+        res_even = simulate_plan(m, even, sockets=1, cores_per_socket=2)
+        assert res.memory_time_s >= res_even.memory_time_s
+
+    def test_policy_matters_on_numa(self):
+        m = get_machine("AMD X2")
+        prof = make_profile(n_threads=4, block_rows=1000)
+        fast = simulate_plan(m, prof, policy=PlacementPolicy.NUMA_AWARE)
+        slow = simulate_plan(m, prof, policy=PlacementPolicy.SINGLE_NODE)
+        assert fast.gflops >= slow.gflops
+
+    def test_variant_affects_inorder_compute(self):
+        m = get_machine("Niagara")
+        prof = make_profile("Niagara")
+        naive = simulate_plan(m, prof, sockets=1, cores_per_socket=1,
+                              variant=KernelVariant())
+        piped = simulate_plan(
+            m, prof, sockets=1, cores_per_socket=1,
+            variant=KernelVariant(software_pipelined=True),
+        )
+        assert piped.compute_time_s < naive.compute_time_s
+
+    def test_bottleneck_labels(self):
+        m = get_machine("Cell Blade")
+        prof = make_profile("Cell Blade", m=2000, n=2000, density=0.01)
+        res = simulate_plan(m, prof, sockets=1, cores_per_socket=1)
+        assert res.bottleneck in ("memory", "compute", "latency")
+
+
+class TestSimulateSpmv:
+    def test_wrapper_derives_config(self):
+        coo = random_coo(1000, 1000, 0.01, seed=2)
+        csr = coo_to_csr(coo)
+        res = simulate_spmv(get_machine("Niagara"), csr, n_threads=1)
+        assert res.sockets == 1
+        assert res.cores_per_socket == 1
+
+    def test_small_matrix_cache_resident(self):
+        coo = random_coo(500, 500, 0.02, seed=3)
+        csr = coo_to_csr(coo)
+        res = simulate_spmv(get_machine("Clovertown"), csr, n_threads=1)
+        assert res.cache_resident

@@ -1,0 +1,154 @@
+"""The bandwidth model must reproduce Table 4's sustained GB/s column.
+
+Paper values (dense matrix in sparse format):
+
+=============  ========  ===========  ===========
+machine        one core  full socket  full system
+=============  ========  ===========  ===========
+Niagara        0.26       2.06         5.02
+Clovertown     3.62       6.56         8.86
+AMD X2         5.40       6.61        12.55
+Cell (PS3)     3.25      18.35        18.35
+Cell Blade     3.25      23.20        31.50
+=============  ========  ===========  ===========
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machines import PlacementPolicy, get_machine
+from repro.simulator import sustained_bandwidth
+from repro.simulator.memory import cache_resident_bandwidth, per_core_demand_bw
+
+GB = 1e9
+REL = 0.12  # model must land within 12% of every measured value
+
+
+def bw(machine_name, **kw):
+    m = get_machine(machine_name)
+    return sustained_bandwidth(m, **kw).sustained_bw / GB
+
+
+class TestTable4:
+    def test_niagara_one_thread(self):
+        assert bw("Niagara", cores_per_socket=1) == pytest.approx(0.26, rel=REL)
+
+    def test_niagara_eight_cores_one_thread(self):
+        assert bw("Niagara", threads_per_core=1) == pytest.approx(2.06, rel=REL)
+
+    def test_niagara_full_cmt(self):
+        assert bw("Niagara", threads_per_core=4) == pytest.approx(5.02, rel=REL)
+
+    def test_clovertown_one_core(self):
+        assert bw("Clovertown", sockets=1, cores_per_socket=1) == \
+            pytest.approx(3.62, rel=REL)
+
+    def test_clovertown_socket(self):
+        assert bw("Clovertown", sockets=1) == pytest.approx(6.56, rel=REL)
+
+    def test_clovertown_system(self):
+        assert bw("Clovertown") == pytest.approx(8.86, rel=REL)
+
+    def test_amd_one_core(self):
+        assert bw("AMD X2", sockets=1, cores_per_socket=1) == \
+            pytest.approx(5.40, rel=REL)
+
+    def test_amd_socket(self):
+        assert bw("AMD X2", sockets=1) == pytest.approx(6.61, rel=REL)
+
+    def test_amd_system_numa_aware(self):
+        assert bw("AMD X2", policy=PlacementPolicy.NUMA_AWARE) == \
+            pytest.approx(12.55, rel=REL)
+
+    def test_cell_one_spe(self):
+        assert bw("Cell (PS3)", cores_per_socket=1) == \
+            pytest.approx(3.25, rel=REL)
+
+    def test_cell_ps3_six_spes(self):
+        assert bw("Cell (PS3)") == pytest.approx(18.35, rel=REL)
+
+    def test_cell_blade_socket(self):
+        assert bw("Cell Blade", sockets=1) == pytest.approx(23.20, rel=REL)
+
+    def test_cell_blade_interleaved(self):
+        # The paper ran 16 SPEs with numactl page interleaving.
+        assert bw("Cell Blade", policy=PlacementPolicy.INTERLEAVE) == \
+            pytest.approx(31.50, rel=REL)
+
+
+class TestModelBehavior:
+    def test_numa_aware_beats_interleave_beats_single_node(self):
+        m = get_machine("Cell Blade")
+        aware = sustained_bandwidth(m, policy=PlacementPolicy.NUMA_AWARE)
+        inter = sustained_bandwidth(m, policy=PlacementPolicy.INTERLEAVE)
+        single = sustained_bandwidth(m, policy=PlacementPolicy.SINGLE_NODE)
+        assert aware.sustained_bw > inter.sustained_bw > single.sustained_bw
+
+    def test_single_node_caps_at_one_socket(self):
+        m = get_machine("AMD X2")
+        single = sustained_bandwidth(m, policy=PlacementPolicy.SINGLE_NODE)
+        one = sustained_bandwidth(m, sockets=1)
+        assert single.sustained_bw <= one.sustained_bw * 1.01
+
+    def test_prefetch_matters_on_amd_not_clovertown(self):
+        amd = get_machine("AMD X2")
+        clv = get_machine("Clovertown")
+        amd_gain = (
+            sustained_bandwidth(amd, sockets=1, cores_per_socket=1).sustained_bw
+            / sustained_bandwidth(amd, sockets=1, cores_per_socket=1,
+                                  sw_prefetch=False).sustained_bw
+        )
+        clv_gain = (
+            sustained_bandwidth(clv, sockets=1, cores_per_socket=1).sustained_bw
+            / sustained_bandwidth(clv, sockets=1, cores_per_socket=1,
+                                  sw_prefetch=False).sustained_bw
+        )
+        assert amd_gain > 1.3
+        assert clv_gain < 1.15
+
+    def test_prefetch_irrelevant_with_dma(self):
+        m = get_machine("Cell (PS3)")
+        a = sustained_bandwidth(m, sw_prefetch=True).sustained_bw
+        b = sustained_bandwidth(m, sw_prefetch=False).sustained_bw
+        assert a == b
+
+    def test_niagara_thread_scaling_saturates(self):
+        one = bw("Niagara", threads_per_core=1)
+        two = bw("Niagara", threads_per_core=2)
+        four = bw("Niagara", threads_per_core=4)
+        assert two == pytest.approx(2 * one, rel=0.05)   # linear to 2
+        assert four < 2 * two                            # caps below 4x
+
+    def test_bottleneck_labels(self):
+        m = get_machine("Cell Blade")
+        one = sustained_bandwidth(m, sockets=1, cores_per_socket=1)
+        full = sustained_bandwidth(m, sockets=1)
+        assert one.bottleneck == "latency"
+        assert full.bottleneck == "dram"
+
+    def test_invalid_configs(self):
+        m = get_machine("AMD X2")
+        with pytest.raises(SimulationError):
+            sustained_bandwidth(m, sockets=3)
+        with pytest.raises(SimulationError):
+            sustained_bandwidth(m, cores_per_socket=5)
+        with pytest.raises(SimulationError):
+            sustained_bandwidth(m, threads_per_core=2)
+
+    def test_per_core_demand_positive(self):
+        for name in ["AMD X2", "Clovertown", "Niagara", "Cell (PS3)"]:
+            assert per_core_demand_bw(get_machine(name)) > 0
+
+    def test_cache_resident_exceeds_dram(self):
+        m = get_machine("Clovertown")
+        dram = sustained_bandwidth(m).sustained_bw
+        llc = cache_resident_bandwidth(
+            m, sockets=2, cores_per_socket=4
+        )
+        assert llc > dram
+
+    def test_cache_resident_zero_for_cell(self):
+        m = get_machine("Cell (PS3)")
+        assert cache_resident_bandwidth(m, sockets=1, cores_per_socket=6) == 0

@@ -1,0 +1,64 @@
+"""TLB model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import get_machine
+from repro.machines.model import TLBConfig
+from repro.simulator.tlb import (
+    max_cols_for_tlb_reach,
+    tlb_misses,
+    tlb_penalty_seconds,
+    unique_pages,
+)
+
+TLB = TLBConfig(entries=32, page_bytes=4096, miss_penalty_cycles=25.0)
+
+
+class TestPages:
+    def test_unique_pages(self):
+        # 512 doubles per 4KB page.
+        assert unique_pages(np.arange(512), 4096) == 1
+        assert unique_pages(np.arange(1024), 4096) == 2
+        assert unique_pages(np.array([]), 4096) == 0
+
+    def test_scattered_pages(self):
+        cols = np.arange(0, 512 * 100, 512)  # one touch per page
+        assert unique_pages(cols, 4096) == 100
+
+
+class TestMisses:
+    def test_within_reach_compulsory(self):
+        assert tlb_misses(TLB, 10, 100_000) == 10.0
+
+    def test_none_tlb(self):
+        assert tlb_misses(None, 10, 100) == 0.0
+
+    def test_thrash_beyond_reach(self):
+        within = tlb_misses(TLB, 32, 10_000)
+        beyond = tlb_misses(TLB, 320, 10_000)
+        assert beyond > 10 * within
+
+    def test_penalty_scales_with_clock(self):
+        fast = tlb_penalty_seconds(TLB, 100, 1000, 2e9)
+        slow = tlb_penalty_seconds(TLB, 100, 1000, 1e9)
+        assert fast == pytest.approx(slow / 2)
+
+    def test_reach_blocking_bound(self):
+        cols = max_cols_for_tlb_reach(TLB)
+        assert cols == (32 - 4) * 512
+        assert max_cols_for_tlb_reach(None) is None
+
+
+class TestMachineTLBs:
+    def test_opteron_blocks_for_small_l1_tlb(self):
+        # The Opteron's 32-entry L1 TLB has the smallest reach — the
+        # reason the paper found TLB blocking beneficial there.
+        amd = get_machine("AMD X2").tlb
+        clv = get_machine("Clovertown").tlb
+        assert amd.reach_bytes < clv.reach_bytes
+
+    def test_cell_has_no_tlb_model(self):
+        assert get_machine("Cell (PS3)").tlb is None

@@ -1,0 +1,163 @@
+"""Traffic accounting and plan-profile tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.formats import coo_to_csr, to_bcsr, to_cache_blocked
+from repro.formats.convert import uniform_block_specs
+from repro.machines import get_machine
+from repro.simulator.events import TrafficBreakdown
+from repro.simulator.traffic import (
+    PlanProfile,
+    plan_traffic,
+    profile_from_matrix,
+)
+from tests.conftest import random_coo
+
+
+class TestTrafficBreakdown:
+    def test_addition(self):
+        a = TrafficBreakdown(1.0, 2.0, 3.0)
+        b = TrafficBreakdown(10.0, 20.0, 30.0)
+        c = a + b
+        assert c.total == 66.0
+        assert c.matrix_bytes == 11.0
+
+
+class TestProfileFromMatrix:
+    def test_flat_matrix_single_block(self):
+        coo = random_coo(100, 80, 0.05, seed=1)
+        csr = coo_to_csr(coo)
+        prof = profile_from_matrix(csr, get_machine("AMD X2"))
+        assert len(prof.blocks) == 1
+        b = prof.blocks[0]
+        assert b.nnz_logical == coo.nnz_logical
+        assert b.matrix_bytes == csr.footprint_bytes()
+        assert b.format_name == "csr"
+
+    def test_cache_blocked_one_profile_per_block(self):
+        coo = random_coo(120, 120, 0.05, seed=2)
+        cb = to_cache_blocked(coo, uniform_block_specs((120, 120), 40, 60))
+        prof = profile_from_matrix(cb, get_machine("Clovertown"))
+        assert len(prof.blocks) == cb.n_blocks
+        assert prof.nnz_logical == coo.nnz_logical
+        assert prof.matrix_bytes == sum(
+            b.matrix.footprint_bytes() for b in cb.blocks
+        )
+
+    def test_bcsr_segments_are_tile_rows(self):
+        coo = random_coo(64, 64, 0.1, seed=3)
+        b = to_bcsr(coo, 4, 4)
+        prof = profile_from_matrix(b, get_machine("AMD X2"))
+        blk = prof.blocks[0]
+        assert blk.format_name == "bcsr"
+        assert blk.r == 4 and blk.c == 4
+        assert blk.n_segments <= -(-64 // 4)
+
+    def test_thread_assignment_round_robin(self):
+        coo = random_coo(120, 120, 0.05, seed=4)
+        cb = to_cache_blocked(coo, uniform_block_specs((120, 120), 30, 120))
+        prof = profile_from_matrix(cb, get_machine("AMD X2"), n_threads=2)
+        threads = {b.thread for b in prof.blocks}
+        assert threads == {0, 1}
+
+
+class TestPlanProfile:
+    def _profile(self, n_threads=2):
+        coo = random_coo(200, 200, 0.05, seed=5)
+        cb = to_cache_blocked(coo, uniform_block_specs((200, 200), 50, 200))
+        return profile_from_matrix(cb, get_machine("AMD X2"),
+                                   n_threads=n_threads)
+
+    def test_thread_nnz_sums(self):
+        prof = self._profile()
+        assert prof.thread_nnz().sum() == prof.nnz_logical
+
+    def test_retarget_threads(self):
+        prof = self._profile(2)
+        re4 = prof.retarget_threads(4)
+        assert re4.n_threads == 4
+        assert re4.nnz_logical == prof.nnz_logical
+        # Greedy rebalance keeps loads sane.
+        loads = re4.thread_nnz()
+        assert loads.max() <= loads.sum()
+
+    def test_bad_thread_count(self):
+        prof = self._profile()
+        with pytest.raises(SimulationError):
+            prof.retarget_threads(0)
+
+    def test_invalid_block_thread_rejected(self):
+        prof = self._profile(2)
+        with pytest.raises(SimulationError):
+            PlanProfile(prof.shape, prof.blocks, 1)  # block.thread == 1
+
+
+class TestPlanTraffic:
+    def test_total_at_least_matrix_bytes(self):
+        coo = random_coo(300, 300, 0.03, seed=6)
+        prof = profile_from_matrix(coo_to_csr(coo), get_machine("AMD X2"))
+        total, per_thread = plan_traffic(prof, get_machine("AMD X2"))
+        assert total.matrix_bytes == prof.matrix_bytes
+        assert total.total >= prof.matrix_bytes
+        assert per_thread.sum() == pytest.approx(total.total)
+
+    def test_write_allocate_increases_y(self):
+        coo = random_coo(300, 300, 0.03, seed=7)
+        prof = profile_from_matrix(coo_to_csr(coo), get_machine("AMD X2"))
+        wa, _ = plan_traffic(prof, get_machine("AMD X2"),
+                             write_allocate=True)
+        nwa, _ = plan_traffic(prof, get_machine("AMD X2"),
+                              write_allocate=False)
+        assert wa.y_bytes == pytest.approx(2 * nwa.y_bytes)
+
+    def test_local_store_charges_x_span(self):
+        coo = random_coo(100, 1000, 0.01, seed=8)
+        prof = profile_from_matrix(coo_to_csr(coo),
+                                   get_machine("Cell (PS3)"))
+        total, _ = plan_traffic(prof, get_machine("Cell (PS3)"))
+        # Cell DMA pulls the whole x span once: exactly 8 KB for 1000
+        # columns.
+        assert total.x_bytes == 1000 * 8
+
+    def test_cache_blocking_reduces_x_traffic_on_scattered(self):
+        # Tall scattered matrix: the flat layout re-fetches the wide
+        # x span every row window; blocking confines each block's
+        # footprint to its span so every line is fetched once per block.
+        rng = np.random.default_rng(9)
+        m_rows, n = 60_000, 400_000
+        nnz = 600_000
+        from repro.formats import COOMatrix
+
+        coo = COOMatrix((m_rows, n),
+                        np.sort(rng.integers(0, m_rows, nnz)),
+                        rng.integers(0, n, nnz),
+                        rng.standard_normal(nnz))
+        m = get_machine("AMD X2")
+        flat = profile_from_matrix(coo_to_csr(coo), m)
+        flat_traffic, _ = plan_traffic(flat, m)
+        cb = to_cache_blocked(
+            coo, uniform_block_specs((m_rows, n), m_rows, 32_768)
+        )
+        blocked = profile_from_matrix(cb, m)
+        blocked_traffic, _ = plan_traffic(blocked, m)
+        assert blocked_traffic.x_bytes < flat_traffic.x_bytes
+
+    def test_banded_matrix_charged_band_only(self):
+        # Long diagonal band: global unique lines exceed the cache but
+        # the instantaneous working set is tiny — x traffic must stay
+        # near compulsory, NOT near one miss per access.
+        n = 300_000
+        rows = np.repeat(np.arange(n, dtype=np.int64), 3)
+        cols = np.minimum(rows + np.tile(np.arange(3), n), n - 1)
+        from repro.formats import COOMatrix
+
+        coo = COOMatrix((n, n), rows, cols, np.ones(len(rows)))
+        m = get_machine("AMD X2")
+        prof = profile_from_matrix(coo_to_csr(coo), m)
+        traffic, _ = plan_traffic(prof, m)
+        compulsory = prof.blocks[0].x_unique_lines * 64
+        assert traffic.x_bytes <= 2.5 * compulsory
