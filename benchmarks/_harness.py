@@ -19,12 +19,15 @@ from typing import Callable
 
 from dataclasses import replace
 
+from repro import __version__ as MODEL_VERSION
 from repro.baselines import OskiTuner
 from repro.baselines.petsc import best_petsc
 from repro.core import OptimizationLevel, SpmvEngine
 from repro.core.optimizer import arch_family, optimization_config
 from repro.machines import PlacementPolicy, get_machine
 from repro.matrices import generate, suite_names
+from repro.observe import metrics as _metrics
+from repro.observe.trace import span as _span
 from repro.simulator.cpu import KernelVariant
 
 L = OptimizationLevel
@@ -95,24 +98,47 @@ def _cache_path(machine_name: str, scale: float) -> str:
 
 
 def _load_disk_cache(machine_name: str, scale: float) -> dict | None:
+    """Load a cached sweep, or None on miss.
+
+    Cached files are versioned envelopes
+    ``{"model_version": repro.__version__, "data": {...}}``; a file
+    whose stamp differs from the running model (or a pre-envelope
+    legacy file) is treated as stale — simulator changes bump the
+    version, so stale numbers are never served silently.
+    """
     import json
 
     path = _cache_path(machine_name, scale)
     if not os.path.exists(path):
+        _metrics.inc("bench.cache_miss")
         return None
     try:
         with open(path) as f:
-            return json.load(f)
+            payload = json.load(f)
     except (json.JSONDecodeError, OSError):
+        _metrics.inc("bench.cache_miss")
         return None
+    if (not isinstance(payload, dict)
+            or payload.get("model_version") != MODEL_VERSION
+            or "data" not in payload):
+        _metrics.inc("bench.cache_stale")
+        return None
+    _metrics.inc("bench.cache_hit")
+    return payload["data"]
 
 
 def _save_disk_cache(machine_name: str, scale: float, data: dict) -> None:
     import json
 
     os.makedirs(_CACHE_DIR, exist_ok=True)
+    envelope = {
+        "model_version": MODEL_VERSION,
+        "machine": machine_name,
+        "scale": scale,
+        "data": data,
+    }
     with open(_cache_path(machine_name, scale), "w") as f:
-        json.dump(data, f, indent=1)
+        json.dump(envelope, f, indent=1)
 
 
 def figure1_data(machine_name: str, scale: float | None = None,
@@ -139,31 +165,44 @@ def figure1_data(machine_name: str, scale: float | None = None,
     data: dict[str, dict[str, float]] = {}
     oski = OskiTuner(machine) if with_baselines and family == "x86" \
         else None
-    for name in names:
-        coo = generate(name, scale=scale, seed=0)
-        bars: dict[str, float] = {}
-        if family == "cell":
-            for label, t, full in PARALLEL_POINTS[machine_name]:
-                plan = plan_point(engine, coo, t, full_system=full)
-                bars[label] = engine.simulate(plan).gflops
-        else:
-            # Serial ladder. Naive and PF share a data structure: plan
-            # once at PF, simulate naive with prefetch+codegen off.
-            pf_plan = engine.plan(coo, level=L.PF, n_threads=1)
-            bars["1 Core - Naive"] = engine.simulate(
-                pf_plan, sw_prefetch=False, variant=KernelVariant()
-            ).gflops
-            bars["1 Core[PF]"] = engine.simulate(pf_plan).gflops
-            for label, lvl in LADDER_LABELS[2:]:
-                plan = engine.plan(coo, level=lvl, n_threads=1)
-                bars[label] = engine.simulate(plan).gflops
-            for label, t, full in PARALLEL_POINTS[machine_name]:
-                plan = plan_point(engine, coo, t, full_system=full)
-                bars[label] = engine.simulate(plan).gflops
-            if oski is not None:
-                bars["OSKI"] = oski.simulate(coo).gflops
-                bars["OSKI-PETSc"] = best_petsc(coo, machine).gflops
-        data[name] = bars
+    with _span("bench.figure1", machine=machine_name, scale=scale,
+               n_matrices=len(names)):
+        for i, name in enumerate(names):
+            with _span("bench.matrix", matrix=name,
+                       machine=machine_name):
+                coo = generate(name, scale=scale, seed=0)
+                bars: dict[str, float] = {}
+                if family == "cell":
+                    for label, t, full in PARALLEL_POINTS[machine_name]:
+                        plan = plan_point(engine, coo, t,
+                                          full_system=full)
+                        bars[label] = engine.simulate(plan).gflops
+                else:
+                    # Serial ladder. Naive and PF share a data
+                    # structure: plan once at PF, simulate naive with
+                    # prefetch+codegen off.
+                    pf_plan = engine.plan(coo, level=L.PF, n_threads=1)
+                    bars["1 Core - Naive"] = engine.simulate(
+                        pf_plan, sw_prefetch=False,
+                        variant=KernelVariant()
+                    ).gflops
+                    bars["1 Core[PF]"] = engine.simulate(pf_plan).gflops
+                    for label, lvl in LADDER_LABELS[2:]:
+                        plan = engine.plan(coo, level=lvl, n_threads=1)
+                        bars[label] = engine.simulate(plan).gflops
+                    for label, t, full in PARALLEL_POINTS[machine_name]:
+                        plan = plan_point(engine, coo, t,
+                                          full_system=full)
+                        bars[label] = engine.simulate(plan).gflops
+                    if oski is not None:
+                        bars["OSKI"] = oski.simulate(coo).gflops
+                        bars["OSKI-PETSc"] = best_petsc(
+                            coo, machine
+                        ).gflops
+                data[name] = bars
+            _metrics.inc("bench.matrices_done")
+            _metrics.gauge("bench.sweep_progress", (i + 1) / len(names),
+                           machine=machine_name)
     if matrices is None:
         _FIG1_CACHE[key] = data
         _save_disk_cache(machine_name, scale, data)

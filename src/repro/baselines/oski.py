@@ -25,6 +25,8 @@ from ..formats.coo import COOMatrix
 from ..formats.convert import count_tiles, to_bcsr
 from ..machines.model import Machine, PlacementPolicy
 from ..matrices.dense import dense_in_sparse
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
 from ..simulator.cpu import KernelVariant
 from ..simulator.events import SimResult
 from ..simulator.executor import simulate_spmv
@@ -68,16 +70,20 @@ class OskiTuner:
         machine model instead of real silicon.
         """
         if self._profile is None:
-            dense = dense_in_sparse(_PROFILE_N, seed=0)
-            prof: dict[tuple[int, int], float] = {}
-            for (r, c) in POWER_OF_TWO_BLOCKS:
-                mat = to_bcsr(dense, r, c, index_width=IndexWidth.I32)
-                res = simulate_spmv(
-                    self.machine, mat, n_threads=1,
-                    sw_prefetch=False,
-                    variant=oski_config().variant,
-                )
-                prof[(r, c)] = res.gflops
+            with _span("oski.machine_profile",
+                       machine=self.machine.name):
+                dense = dense_in_sparse(_PROFILE_N, seed=0)
+                prof: dict[tuple[int, int], float] = {}
+                for (r, c) in POWER_OF_TWO_BLOCKS:
+                    mat = to_bcsr(dense, r, c, index_width=IndexWidth.I32)
+                    res = simulate_spmv(
+                        self.machine, mat, n_threads=1,
+                        sw_prefetch=False,
+                        variant=oski_config().variant,
+                    )
+                    prof[(r, c)] = res.gflops
+            _metrics.inc("oski.profile_builds",
+                         machine=self.machine.name)
             self._profile = prof
         return self._profile
 
@@ -121,11 +127,15 @@ class OskiTuner:
         """SPARSITY heuristic: argmax profile / fill."""
         prof = self.machine_profile()
         best, best_score = (1, 1), -np.inf
-        for (r, c), gflops in prof.items():
-            fill = self.estimate_fill(coo, r, c)
-            score = gflops / fill
-            if score > best_score:
-                best, best_score = (r, c), score
+        with _span("oski.choose_blocking", nnz=coo.nnz_logical) as s:
+            for (r, c), gflops in prof.items():
+                fill = self.estimate_fill(coo, r, c)
+                score = gflops / fill
+                if score > best_score:
+                    best, best_score = (r, c), score
+            s.set(r=best[0], c=best[1])
+        _metrics.inc("oski.fill_estimates", len(prof))
+        _metrics.inc("oski.blocking_chosen", rc=f"{best[0]}x{best[1]}")
         return best
 
     # ------------------------------------------------------------------

@@ -24,6 +24,8 @@ from .._util import VALUE_BYTES
 from ..errors import PartitionError
 from ..formats.coo import COOMatrix
 from ..machines.model import Machine, PlacementPolicy
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
 from ..parallel.partition import partition_rows_equal
 from ..simulator.executor import simulate_plan
 from ..simulator.memory import sustained_bandwidth
@@ -121,20 +123,22 @@ def petsc_spmv_model(
     tuner = OskiTuner(machine)
     blocks = []
     row_all = coo.row
-    for p, (r0, r1) in enumerate(part.ranges()):
-        lo = int(np.searchsorted(row_all, r0, side="left"))
-        hi = int(np.searchsorted(row_all, r1, side="left"))
-        if hi == lo:
-            continue
-        sub = COOMatrix(
-            (r1 - r0, coo.ncols), row_all[lo:hi] - r0, coo.col[lo:hi],
-            coo.val[lo:hi], dedupe=False,
-        )
-        sub_plan = tuner.plan(sub)
-        for b in sub_plan.profile.blocks:
-            blocks.append(
-                _replace(b, r0=b.r0 + r0, r1=b.r1 + r0, thread=p)
+    with _span("petsc.tune_ranks", machine=machine.name,
+               procs=n_procs):
+        for p, (r0, r1) in enumerate(part.ranges()):
+            lo = int(np.searchsorted(row_all, r0, side="left"))
+            hi = int(np.searchsorted(row_all, r1, side="left"))
+            if hi == lo:
+                continue
+            sub = COOMatrix(
+                (r1 - r0, coo.ncols), row_all[lo:hi] - r0, coo.col[lo:hi],
+                coo.val[lo:hi], dedupe=False,
             )
+            sub_plan = tuner.plan(sub)
+            for b in sub_plan.profile.blocks:
+                blocks.append(
+                    _replace(b, r0=b.r0 + r0, r1=b.r1 + r0, thread=p)
+                )
     profile = PlanProfile(coo.shape, tuple(blocks), n_procs)
     from ..core.engine import config_rectangle
 
@@ -148,24 +152,28 @@ def petsc_spmv_model(
     )
 
     # ----------------------------------------------------- communication
-    recv_counts = _offprocess_cols(coo, part.bounds)
-    # ch_shmem: each transferred value is written by the sender into a
-    # shared segment and read back by the receiver — two full copies,
-    # i.e. 4 memory transits per byte (read+write on each side).
-    copy_bw = sustained_bandwidth(
-        machine, sockets=sockets, cores_per_socket=cores,
-        threads_per_core=tpc, policy=PlacementPolicy.SINGLE_NODE,
-        sw_prefetch=False,
-    ).sustained_bw
-    comm_bytes = float(recv_counts.sum()) * VALUE_BYTES
-    per_proc_comm = (
-        recv_counts * (VALUE_BYTES * 4.0 / copy_bw + PACK_OVERHEAD_S)
-        + MESSAGE_LATENCY_S * max(n_procs - 1, 0)
-    )
-    comm_time = float(per_proc_comm.max()) if n_procs else 0.0
+    with _span("petsc.comm_model", procs=n_procs):
+        recv_counts = _offprocess_cols(coo, part.bounds)
+        # ch_shmem: each transferred value is written by the sender into
+        # a shared segment and read back by the receiver — two full
+        # copies, i.e. 4 memory transits per byte (read+write each side).
+        copy_bw = sustained_bandwidth(
+            machine, sockets=sockets, cores_per_socket=cores,
+            threads_per_core=tpc, policy=PlacementPolicy.SINGLE_NODE,
+            sw_prefetch=False,
+        ).sustained_bw
+        comm_bytes = float(recv_counts.sum()) * VALUE_BYTES
+        per_proc_comm = (
+            recv_counts * (VALUE_BYTES * 4.0 / copy_bw + PACK_OVERHEAD_S)
+            + MESSAGE_LATENCY_S * max(n_procs - 1, 0)
+        )
+        comm_time = float(per_proc_comm.max()) if n_procs else 0.0
 
     total = sim.time_s + comm_time
     gflops = 2.0 * coo.nnz_logical / total / 1e9
+    _metrics.inc("petsc.models", machine=machine.name)
+    _metrics.observe("petsc.comm_fraction",
+                     comm_time / total if total else 0.0)
     return PetscResult(
         machine_name=machine.name,
         n_procs=n_procs,

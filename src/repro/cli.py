@@ -7,8 +7,13 @@ suite [--scale]     Table 3: generate the matrix suite, print structure.
 tune MATRIX         Tune one matrix for one machine and simulate it.
 sweep MATRIX        The Figure 1 ladder for one matrix on one machine.
 compare MATRIX      All five machines on one matrix (mini Figure 2a).
+stats MATRIX        Bottleneck-attribution table over the sweep ladder.
 info FILE           Structure report for a MatrixMarket/.npz file.
 validate            Analytic-vs-exact cache traffic validation sweep.
+
+Every command accepts ``--trace FILE`` (JSONL spans, load with
+:func:`repro.observe.read_trace`) and ``--trace-chrome FILE`` (Chrome
+trace-event JSON, open in ``about://tracing`` or Perfetto).
 """
 
 from __future__ import annotations
@@ -137,6 +142,54 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Bottleneck attribution over the Figure-1 ladder of one matrix:
+    where does modeled time go (memory vs compute vs latency), per
+    configuration — plus the engine's own counters for the run."""
+    from .observe.attribution import BottleneckAttribution
+    from .observe.metrics import get_registry
+    from .simulator.cpu import KernelVariant
+
+    coo = _load_or_generate(args)
+    machine = get_machine(args.machine)
+    engine = SpmvEngine(machine)
+    att = BottleneckAttribution()
+
+    def add(label, res):
+        att.add(res, matrix=args.matrix, label=label)
+
+    # Serial ladder (naive shares the PF plan, prefetch/codegen off).
+    pf_plan = engine.plan(coo, level=L.PF, n_threads=1)
+    add("1 thread [naive]", engine.simulate(
+        pf_plan, sw_prefetch=False, variant=KernelVariant()
+    ))
+    add("1 thread [pf]", engine.simulate(pf_plan))
+    for lvl in [L.PF_RB, L.PF_RB_CB]:
+        add(f"1 thread [{lvl.value}]", engine.simulate(
+            engine.plan(coo, level=lvl, n_threads=1)
+        ))
+    t = 1
+    while t < machine.n_threads:
+        t *= 2
+        t_eff = min(t, machine.n_threads)
+        try:
+            res = engine.simulate(engine.plan(coo, n_threads=t_eff))
+        except Exception:
+            continue
+        add(f"{t_eff} threads [full]", res)
+        if t_eff == machine.n_threads:
+            break
+    print(att.table(
+        group_by=("label",),
+        title=f"{args.matrix} on {args.machine}: bottleneck attribution "
+              f"(time shares of modeled work)",
+    ))
+    print()
+    print("engine counters")
+    print(get_registry().render())
+    return 0
+
+
 def _cmd_info(args) -> int:
     if args.file.endswith(".npz"):
         coo = load_matrix(args.file)
@@ -206,22 +259,43 @@ def _cmd_validate(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Tracing flags are shared by every subcommand (argparse "global"
+    # options placed before the subcommand do not survive subparser
+    # parsing, so the flags live on each subparser via `parents` —
+    # SUPPRESS keeps an unset subcommand flag from clobbering one given
+    # before the subcommand).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", metavar="FILE", default=argparse.SUPPRESS,
+        help="write JSONL spans of this run to FILE",
+    )
+    common.add_argument(
+        "--trace-chrome", metavar="FILE", default=argparse.SUPPRESS,
+        help="write a Chrome about://tracing JSON trace to FILE",
+    )
     p = argparse.ArgumentParser(
         prog="repro",
         description="SC'07 multicore SpMV optimization — reproduction",
     )
     p.add_argument("--version", action="version", version=__version__)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--trace-chrome", metavar="FILE", default=None,
+                   help=argparse.SUPPRESS)
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("machines", help="print the machine models")
+    sub.add_parser("machines", help="print the machine models",
+                   parents=[common])
 
-    sp = sub.add_parser("suite", help="generate and describe the suite")
+    sp = sub.add_parser("suite", help="generate and describe the suite",
+                        parents=[common])
     sp.add_argument("--scale", type=float, default=0.05)
 
     for name, helptext in [("tune", "tune one matrix"),
                            ("sweep", "optimization ladder"),
-                           ("compare", "all machines")]:
-        sp = sub.add_parser(name, help=helptext)
+                           ("compare", "all machines"),
+                           ("stats", "bottleneck attribution table")]:
+        sp = sub.add_parser(name, help=helptext, parents=[common])
         sp.add_argument("matrix",
                         help="suite name, .mtx file, or .npz file")
         sp.add_argument("--machine", default="AMD X2",
@@ -231,17 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "tune":
             sp.add_argument("--threads", type=int, default=None)
 
-    sp = sub.add_parser("info", help="describe a matrix file")
+    sp = sub.add_parser("info", help="describe a matrix file",
+                        parents=[common])
     sp.add_argument("file")
 
     sp = sub.add_parser("validate",
-                        help="traffic model vs exact cache simulation")
+                        help="traffic model vs exact cache simulation",
+                        parents=[common])
     sp.add_argument("--machine", default="AMD X2",
                     choices=machine_names())
     sp.add_argument("--scale", type=float, default=0.02)
 
     sp = sub.add_parser("figures",
-                        help="render a cached Figure 1 sweep as ASCII")
+                        help="render a cached Figure 1 sweep as ASCII",
+                        parents=[common])
     sp.add_argument("cache", help="benchmarks/.bench_cache/fig1_*.json")
     sp.add_argument("--machine", default="(cached sweep)")
     return p
@@ -253,6 +330,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "sweep": _cmd_sweep,
     "compare": _cmd_compare,
+    "stats": _cmd_stats,
     "info": _cmd_info,
     "validate": _cmd_validate,
     "figures": _cmd_figures,
@@ -261,7 +339,25 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    chrome_path = getattr(args, "trace_chrome", None)
+    if not (trace_path or chrome_path):
+        return _COMMANDS[args.command](args)
+
+    from .observe import trace as _trace
+
+    tracer = _trace.enable()
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        _trace.disable()
+        if trace_path:
+            n = tracer.write_jsonl(trace_path)
+            print(f"wrote {n} spans to {trace_path}", file=sys.stderr)
+        if chrome_path:
+            n = tracer.write_chrome(chrome_path)
+            print(f"wrote {n} spans to {chrome_path} "
+                  f"(open in about://tracing)", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

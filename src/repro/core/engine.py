@@ -16,6 +16,8 @@ import numpy as np
 from .._util import VALUE_BYTES
 from ..errors import TuningError
 from ..formats.base import SparseFormat
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
 from ..formats.coo import COOMatrix
 from ..machines.model import Machine
 from ..parallel.numa import assign_numa
@@ -129,39 +131,59 @@ class SpmvEngine:
         if config is None:
             config = optimization_config(machine, level,
                                          parallel=n_threads > 1)
-        partition = partition_rows_balanced(coo, n_threads)
-        m, n = coo.shape
-        llc = machine.last_level_cache
-        line_elems = (
-            max(1, llc.line_bytes // VALUE_BYTES) if llc is not None else 1
-        )
-        page_elems = (
-            max(1, machine.tlb.page_bytes // VALUE_BYTES)
-            if machine.tlb is not None else None
-        )
-        blocks: list[BlockProfile] = []
-        choices: list[tuple[tuple[int, int, int, int], FormatChoice]] = []
-        row_all, col_all = coo.row, coo.col
-        for part_id, (p0, p1) in enumerate(partition.ranges()):
-            lo = int(np.searchsorted(row_all, p0, side="left"))
-            hi = int(np.searchsorted(row_all, p1, side="left"))
-            if hi == lo:
-                continue
-            part = _RawBlock(
-                row_all[lo:hi] - p0, col_all[lo:hi], (p1 - p0, n)
+        with _span("engine.plan", machine=machine.name,
+                   threads=n_threads, config=config.label,
+                   nnz=coo.nnz_logical) as plan_span:
+            with _span("plan.partition", threads=n_threads):
+                partition = partition_rows_balanced(coo, n_threads)
+            m, n = coo.shape
+            llc = machine.last_level_cache
+            line_elems = (
+                max(1, llc.line_bytes // VALUE_BYTES)
+                if llc is not None else 1
             )
-            specs = self._block_specs(part, config)
-            part_blocks, part_choices = self._plan_part(
-                part, specs, config, part_id, p0,
-                line_elems, page_elems,
+            page_elems = (
+                max(1, machine.tlb.page_bytes // VALUE_BYTES)
+                if machine.tlb is not None else None
             )
-            blocks.extend(part_blocks)
-            choices.extend(part_choices)
-        profile = PlanProfile((m, n), tuple(blocks), n_threads)
-        return SpmvPlan(
-            machine=machine, config=config, profile=profile,
-            partition=partition, choices=tuple(choices),
-        )
+            blocks: list[BlockProfile] = []
+            choices: list[
+                tuple[tuple[int, int, int, int], FormatChoice]
+            ] = []
+            row_all, col_all = coo.row, coo.col
+            for part_id, (p0, p1) in enumerate(partition.ranges()):
+                lo = int(np.searchsorted(row_all, p0, side="left"))
+                hi = int(np.searchsorted(row_all, p1, side="left"))
+                if hi == lo:
+                    continue
+                part = _RawBlock(
+                    row_all[lo:hi] - p0, col_all[lo:hi], (p1 - p0, n)
+                )
+                with _span("plan.cache_block", part=part_id):
+                    specs = self._block_specs(part, config)
+                with _span("plan.format_select", part=part_id,
+                           n_specs=len(specs)):
+                    part_blocks, part_choices = self._plan_part(
+                        part, specs, config, part_id, p0,
+                        line_elems, page_elems,
+                    )
+                blocks.extend(part_blocks)
+                choices.extend(part_choices)
+            plan_span.set(n_blocks=len(blocks))
+            _metrics.inc("plan.calls")
+            _metrics.inc("plan.blocks_created", len(blocks))
+            fmt_counts: dict[str, int] = {}
+            for _, choice in choices:
+                fmt_counts[choice.format_name] = (
+                    fmt_counts.get(choice.format_name, 0) + 1
+                )
+            for fmt, count in fmt_counts.items():
+                _metrics.inc("heuristic.format_chosen", count, fmt=fmt)
+            profile = PlanProfile((m, n), tuple(blocks), n_threads)
+            return SpmvPlan(
+                machine=machine, config=config, profile=profile,
+                partition=partition, choices=tuple(choices),
+            )
 
     # ------------------------------------------------------------------
     def _plan_part(
@@ -329,16 +351,19 @@ class SpmvEngine:
         sockets, cores, tpc = config_rectangle(
             self.machine, plan.n_threads, plan.config.fill_order
         )
-        return simulate_plan(
-            self.machine, plan.profile,
-            sockets=sockets, cores_per_socket=cores, threads_per_core=tpc,
-            policy=plan.config.policy,
-            sw_prefetch=(
-                plan.config.sw_prefetch if sw_prefetch is None
-                else sw_prefetch
-            ),
-            variant=plan.config.variant if variant is None else variant,
-        )
+        with _span("engine.simulate", machine=self.machine.name,
+                   threads=plan.n_threads, config=plan.config.label):
+            return simulate_plan(
+                self.machine, plan.profile,
+                sockets=sockets, cores_per_socket=cores,
+                threads_per_core=tpc,
+                policy=plan.config.policy,
+                sw_prefetch=(
+                    plan.config.sw_prefetch if sw_prefetch is None
+                    else sw_prefetch
+                ),
+                variant=plan.config.variant if variant is None else variant,
+            )
 
     def numa_assignment(self, plan: SpmvPlan):
         """Thread placement the plan implies (affinity bookkeeping)."""
@@ -357,7 +382,10 @@ class SpmvEngine:
     ) -> "TunedSpMV":
         """Plan and materialize: returns an executable tuned SpMV."""
         plan = self.plan(coo, level=level, n_threads=n_threads)
-        matrix = plan.materialize(coo)
+        with _span("engine.materialize", machine=self.machine.name,
+                   nnz=coo.nnz_logical):
+            matrix = plan.materialize(coo)
+        _metrics.inc("engine.tunes")
         return TunedSpMV(engine=self, plan=plan, matrix=matrix)
 
 

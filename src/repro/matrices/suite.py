@@ -172,6 +172,15 @@ SUITE: tuple[MatrixSpec, ...] = (
 
 _BY_NAME = {s.name: s for s in SUITE}
 
+#: Lookup is case-insensitive and accepts the paper's Figure-1 axis
+#: labels ("Dense2" for the 2K dense-in-sparse matrix) alongside the
+#: Table 3 names.
+_ALIASES = {
+    "dense2": "dense",
+    "dense2k": "dense",
+}
+_BY_FOLDED = {s.name.lower(): s for s in SUITE}
+
 #: Module-level generation cache — suite matrices are large and benches
 #: ask for the same (name, scale, seed) repeatedly.
 _CACHE: dict[tuple[str, float, int], COOMatrix] = {}
@@ -183,12 +192,15 @@ def suite_names() -> list[str]:
 
 
 def get_spec(name: str) -> MatrixSpec:
-    try:
-        return _BY_NAME[name]
-    except KeyError:
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        folded = _ALIASES.get(name.lower(), name.lower())
+        spec = _BY_FOLDED.get(folded)
+    if spec is None:
         raise ReproError(
             f"unknown suite matrix {name!r}; choose from {suite_names()}"
-        ) from None
+        )
+    return spec
 
 
 def generate(
@@ -209,7 +221,7 @@ def generate(
         cached matrices.
     """
     spec = get_spec(name)
-    key = (name, float(scale), int(seed))
+    key = (spec.name, float(scale), int(seed))
     if cache and key in _CACHE:
         return _CACHE[key]
     coo = spec.generate(scale, seed)

@@ -1,0 +1,57 @@
+"""Observability: tracing, metrics, and bottleneck attribution.
+
+The paper's central output is an *explanation* of where SpMV time goes
+on each platform; this package makes the reproduction explain itself
+the same way:
+
+* :mod:`.trace` — a thread-safe span tracer (context-manager API, off
+  by default, near-zero overhead when disabled) with JSONL and Chrome
+  ``about://tracing`` export, wired through the plan → simulate →
+  materialize pipeline.
+* :mod:`.metrics` — a process-wide registry of counters, gauges, and
+  histograms (``plan.blocks_created``,
+  ``heuristic.format_chosen{fmt=...}``, ``bench.cache_hit``, ...).
+* :mod:`.attribution` — aggregates :class:`~repro.simulator.events.SimResult`
+  streams into per-machine/per-matrix bottleneck tables (memory vs
+  compute vs latency time shares, imbalance, cache residency) — the
+  paper's §6 narrative as data.
+"""
+
+from .attribution import (
+    AttributionRecord,
+    BottleneckAttribution,
+    BottleneckShares,
+    attribute,
+    bottleneck_shares,
+)
+from .metrics import MetricsRegistry, get_registry
+from .trace import (
+    NULL_SPAN,
+    SpanEvent,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    read_trace,
+    span,
+)
+
+__all__ = [
+    "AttributionRecord",
+    "BottleneckAttribution",
+    "BottleneckShares",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SpanEvent",
+    "Tracer",
+    "attribute",
+    "bottleneck_shares",
+    "disable",
+    "enable",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "read_trace",
+    "span",
+]

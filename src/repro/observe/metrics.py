@@ -1,0 +1,149 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Instrumented code reports through the module-level convenience
+functions (:func:`inc`, :func:`gauge`, :func:`observe`); consumers
+(the ``stats`` CLI command, tests) read aggregates back through
+:func:`get_registry`. Metrics are always on — a single dict update
+under a lock per event — and instrumentation sites batch per-item
+counts (e.g. one ``inc`` per format *kind* chosen, not per block) so
+the registry never sits on a per-nonzero path.
+
+Metric names are dotted (``plan.blocks_created``); labels attach as a
+sorted ``{k=v}`` suffix, Prometheus-style:
+``heuristic.format_chosen{fmt=bcsr}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Aggregate view of one histogram series."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, list[float]] = {}
+
+    # -------------------------------------------------------- recording
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        k = _key(name, labels)
+        with self._lock:
+            self._counters[k] = self._counters.get(k, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            self._gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        k = _key(name, labels)
+        with self._lock:
+            self._hists.setdefault(k, []).append(float(value))
+
+    # ---------------------------------------------------------- reading
+    def counter(self, name: str, **labels) -> float:
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, default: float = 0.0,
+                    **labels) -> float:
+        return self._gauges.get(_key(name, labels), default)
+
+    def histogram(self, name: str, **labels) -> HistogramSummary:
+        vals = self._hists.get(_key(name, labels), [])
+        if not vals:
+            return HistogramSummary(0, 0.0, 0.0, 0.0)
+        return HistogramSummary(len(vals), sum(vals), min(vals), max(vals))
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy: ``{"counters", "gauges", "histograms"}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    k: HistogramSummary(
+                        len(v), sum(v), min(v), max(v)
+                    ) for k, v in self._hists.items() if v
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every series (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+    # -------------------------------------------------------- rendering
+    def render(self, prefix: str | None = None) -> str:
+        """Aligned plain-text dump, optionally filtered by name prefix."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        rows: list[tuple[str, str]] = []
+        for k in sorted(snap["counters"]):
+            if prefix and not k.startswith(prefix):
+                continue
+            v = snap["counters"][k]
+            rows.append((k, f"{v:g}"))
+        for k in sorted(snap["gauges"]):
+            if prefix and not k.startswith(prefix):
+                continue
+            rows.append((k, f"{snap['gauges'][k]:g}"))
+        for k in sorted(snap["histograms"]):
+            if prefix and not k.startswith(prefix):
+                continue
+            h = snap["histograms"][k]
+            rows.append((
+                k,
+                f"n={h.count} mean={h.mean:.3g} "
+                f"min={h.min:.3g} max={h.max:.3g}",
+            ))
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(k) for k, _ in rows)
+        for k, v in rows:
+            lines.append(f"{k.ljust(width)}  {v}")
+        return "\n".join(lines)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def inc(name: str, value: float = 1.0, **labels) -> None:
+    _REGISTRY.inc(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    _REGISTRY.gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    _REGISTRY.observe(name, value, **labels)

@@ -13,23 +13,30 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 
 import numpy as np
 
 from ..errors import PartitionError
 from ..formats.csr import CSRMatrix
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
 from .partition import RowPartition, partition_rows_balanced
 
 # Worker state installed before fork (copy-on-write shared pages).
 _WORK: dict = {}
 
 
-def _worker(part_id: int) -> tuple[int, np.ndarray]:
+def _worker(part_id: int) -> tuple[int, np.ndarray, float]:
+    """Compute one row slab; returns its wall-clock seconds too (the
+    per-worker timings feed the imbalance metrics in the parent)."""
+    t0 = time.perf_counter()
     csr: CSRMatrix = _WORK["csr"]
     x: np.ndarray = _WORK["x"]
     r0, r1 = _WORK["ranges"][part_id]
     slab = csr.row_slice(r0, r1)
-    return part_id, slab.spmv(x)
+    y = slab.spmv(x)
+    return part_id, y, time.perf_counter() - t0
 
 
 def native_parallel_spmv(
@@ -68,7 +75,9 @@ def native_parallel_spmv(
     n_workers = max(1, min(n_workers, csr.nnz_stored // min_nnz_per_worker
                            if csr.nnz_stored else 1, csr.nrows or 1))
     if n_workers <= 1 or "fork" not in mp.get_all_start_methods():
-        return csr.spmv(x)
+        _metrics.inc("native.serial_fallbacks")
+        with _span("native.spmv", workers=1, nnz=csr.nnz_stored):
+            return csr.spmv(x)
     coo = csr.to_coo()
     if partition is None:
         partition = partition_rows_balanced(coo, n_workers)
@@ -80,14 +89,27 @@ def native_parallel_spmv(
     _WORK["csr"] = csr
     _WORK["x"] = x
     _WORK["ranges"] = ranges
-    try:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(processes=n_workers) as pool:
-            results = pool.map(_worker, range(n_workers))
-    finally:
-        _WORK.clear()
-    y = np.empty(csr.nrows, dtype=np.float64)
-    for part_id, slab_y in results:
-        r0, r1 = ranges[part_id]
-        y[r0:r1] = slab_y
+    with _span("native.spmv", workers=n_workers,
+               nnz=csr.nnz_stored) as s:
+        try:
+            ctx = mp.get_context("fork")
+            with ctx.Pool(processes=n_workers) as pool:
+                results = pool.map(_worker, range(n_workers))
+        finally:
+            _WORK.clear()
+        y = np.empty(csr.nrows, dtype=np.float64)
+        worker_secs = np.empty(n_workers, dtype=np.float64)
+        for part_id, slab_y, elapsed in results:
+            r0, r1 = ranges[part_id]
+            y[r0:r1] = slab_y
+            worker_secs[part_id] = elapsed
+        # Spans inside the forked children die with them; the parent
+        # records each worker's wall clock and the observed imbalance.
+        _metrics.inc("native.calls")
+        for elapsed in worker_secs:
+            _metrics.observe("native.worker_seconds", float(elapsed))
+        mean = float(worker_secs.mean())
+        imbalance = float(worker_secs.max()) / mean if mean > 0 else 1.0
+        _metrics.gauge("native.last_imbalance", imbalance)
+        s.set(imbalance=round(imbalance, 3))
     return y

@@ -20,9 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
+import time
+
 from .._util import VALUE_BYTES
 from ..errors import SimulationError
 from ..machines.model import Machine, PlacementPolicy
+from ..observe import metrics as _metrics
+from ..observe.attribution import bottleneck_shares
+from ..observe.trace import span as _span
 from .cpu import KernelVariant, kernel_cycles, optimized_variant
 from .events import SimResult
 from .memory import cache_resident_bandwidth, sustained_bandwidth
@@ -73,14 +78,16 @@ def simulate_plan(
         variant = optimized_variant(machine.core)
 
     # ------------------------------------------------------------ memory
-    traffic, per_thread_traffic = plan_traffic(
-        plan, machine, write_allocate=write_allocate
-    )
-    bw = sustained_bandwidth(
-        machine, sockets=sockets, cores_per_socket=cores,
-        threads_per_core=threads_per_core, policy=policy,
-        sw_prefetch=sw_prefetch,
-    )
+    phase_t0 = time.perf_counter()
+    with _span("sim.memory", machine=machine.name, threads=n_threads):
+        traffic, per_thread_traffic = plan_traffic(
+            plan, machine, write_allocate=write_allocate
+        )
+        bw = sustained_bandwidth(
+            machine, sockets=sockets, cores_per_socket=cores,
+            threads_per_core=threads_per_core, policy=policy,
+            sw_prefetch=sw_prefetch,
+        )
     bandwidth = bw.sustained_bw
     m, n = plan.shape
     working_set = plan.matrix_bytes + VALUE_BYTES * (m + n)
@@ -108,33 +115,39 @@ def simulate_plan(
         if mean_load > 0 else 1.0
     )
     memory_time = traffic.total / bandwidth * imbalance if bandwidth else 0.0
+    phase_t1 = time.perf_counter()
 
     # ----------------------------------------------------------- compute
-    clock = machine.core.clock_hz
-    per_thread_cycles = np.zeros(n_threads, dtype=np.float64)
-    per_thread_tlb = np.zeros(n_threads, dtype=np.float64)
-    for b in plan.blocks:
-        costs = kernel_cycles(
-            machine.core,
-            format_name=b.format_name, r=b.r, c=b.c, ntiles=b.ntiles,
-            nnz_stored=b.nnz_stored, n_segments=b.n_segments,
-            variant=variant,
+    with _span("sim.compute", machine=machine.name,
+               n_blocks=len(plan.blocks)):
+        clock = machine.core.clock_hz
+        per_thread_cycles = np.zeros(n_threads, dtype=np.float64)
+        per_thread_tlb = np.zeros(n_threads, dtype=np.float64)
+        for b in plan.blocks:
+            costs = kernel_cycles(
+                machine.core,
+                format_name=b.format_name, r=b.r, c=b.c, ntiles=b.ntiles,
+                nnz_stored=b.nnz_stored, n_segments=b.n_segments,
+                variant=variant,
+            )
+            per_thread_cycles[b.thread] += costs.total_cycles
+            per_thread_tlb[b.thread] += tlb_penalty_seconds(
+                machine.tlb, b.pages_touched, b.x_accesses, clock,
+                window_page_pairs=b.x_window_page_pairs,
+                n_windows=b.n_windows,
+            )
+        # Threads on one core share its issue bandwidth: core time is
+        # the sum of its threads' cycles.
+        per_core_cycles = per_thread_cycles.reshape(
+            -1, threads_per_core
+        ).sum(axis=1)
+        per_core_tlb = per_thread_tlb.reshape(-1, threads_per_core).sum(
+            axis=1
         )
-        per_thread_cycles[b.thread] += costs.total_cycles
-        per_thread_tlb[b.thread] += tlb_penalty_seconds(
-            machine.tlb, b.pages_touched, b.x_accesses, clock,
-            window_page_pairs=b.x_window_page_pairs,
-            n_windows=b.n_windows,
+        compute_time = float(per_core_cycles.max()) / clock + float(
+            per_core_tlb.max()
         )
-    # Threads on one core share its issue bandwidth: core time is the
-    # sum of its threads' cycles.
-    per_core_cycles = per_thread_cycles.reshape(-1, threads_per_core).sum(
-        axis=1
-    )
-    per_core_tlb = per_thread_tlb.reshape(-1, threads_per_core).sum(axis=1)
-    compute_time = float(per_core_cycles.max()) / clock + float(
-        per_core_tlb.max()
-    )
+    phase_t2 = time.perf_counter()
 
     # ------------------------------------------------------- composition
     core = machine.core
@@ -158,6 +171,12 @@ def simulate_plan(
         bottleneck = "memory" if bw.bottleneck == "dram" else "latency"
     else:
         bottleneck = "compute"
+    shares = bottleneck_shares(
+        compute_time, memory_time,
+        "latency" if bw.bottleneck == "latency" else "memory",
+    )
+    _metrics.inc("sim.runs", machine=machine.name)
+    _metrics.inc("sim.bottleneck", kind=bottleneck)
     return SimResult(
         machine_name=machine.name,
         time_s=time_s,
@@ -172,7 +191,20 @@ def simulate_plan(
         cores_per_socket=cores,
         threads_per_core=threads_per_core,
         imbalance=imbalance,
-        extras={"bw_model": bw},
+        extras={
+            "bw_model": bw,
+            "attribution": {
+                "memory_share": shares.memory,
+                "compute_share": shares.compute,
+                "latency_share": shares.latency,
+                "overlapped": can_overlap,
+                "hit_frac": hit_frac,
+            },
+            "phase_seconds": {
+                "memory_model": phase_t1 - phase_t0,
+                "compute_model": phase_t2 - phase_t1,
+            },
+        },
     )
 
 

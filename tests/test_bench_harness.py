@@ -64,6 +64,52 @@ class TestSweep:
         path.write_text("{not json")
         assert _harness._load_disk_cache("AMD X2", 0.5) is None
 
+    def test_disk_cache_rejects_version_mismatch(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setattr(_harness, "_CACHE_DIR", str(tmp_path))
+        path = Path(_harness._cache_path("AMD X2", 0.5))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "model_version": "0.0.0-stale", "data": {"M": {"bar": 1.0}}
+        }))
+        assert _harness._load_disk_cache("AMD X2", 0.5) is None
+
+    def test_disk_cache_rejects_legacy_unstamped_payload(
+            self, tmp_path, monkeypatch):
+        # Pre-envelope caches were the bare {matrix: {bar: gflops}}
+        # dict; they carry numbers from an unknown simulator version
+        # and must be treated as stale, not served.
+        monkeypatch.setattr(_harness, "_CACHE_DIR", str(tmp_path))
+        path = Path(_harness._cache_path("AMD X2", 0.5))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"M": {"bar": 1.25}}))
+        assert _harness._load_disk_cache("AMD X2", 0.5) is None
+
+    def test_disk_cache_envelope_is_stamped(self, tmp_path,
+                                            monkeypatch):
+        import repro
+
+        monkeypatch.setattr(_harness, "_CACHE_DIR", str(tmp_path))
+        _harness._save_disk_cache("AMD X2", 0.5, {"M": {"bar": 1.0}})
+        raw = json.loads(
+            Path(_harness._cache_path("AMD X2", 0.5)).read_text()
+        )
+        assert raw["model_version"] == repro.__version__
+        assert raw["machine"] == "AMD X2" and raw["scale"] == 0.5
+
+    def test_disk_cache_counters(self, tmp_path, monkeypatch):
+        from repro.observe.metrics import get_registry
+
+        reg = get_registry()
+        reg.reset()
+        monkeypatch.setattr(_harness, "_CACHE_DIR", str(tmp_path))
+        _harness._load_disk_cache("AMD X2", 0.5)          # miss
+        _harness._save_disk_cache("AMD X2", 0.5, {"M": {}})
+        _harness._load_disk_cache("AMD X2", 0.5)          # hit
+        assert reg.counter("bench.cache_miss") == 1
+        assert reg.counter("bench.cache_hit") == 1
+        reg.reset()
+
     def test_plan_point_socket_vs_system(self):
         from repro.core import SpmvEngine
         from repro.machines import PlacementPolicy, get_machine

@@ -87,6 +87,47 @@ class TestCLI:
         code = main(["figures", str(tmp_path / "nope.json")])
         assert code == 1
 
+    def test_stats(self, capsys):
+        code, out = run(capsys, "stats", "dense2", "--scale", "0.05",
+                        "--machine", "AMD X2")
+        assert code == 0
+        assert "bottleneck attribution" in out
+        assert "mem%" in out and "comp%" in out and "lat%" in out
+        assert "plan.blocks_created" in out
+
+    def test_sweep_trace_writes_jsonl(self, capsys, tmp_path):
+        from repro.observe.trace import get_tracer, read_trace
+
+        path = tmp_path / "t.jsonl"
+        code, _ = run(capsys, "sweep", "dense2", "--scale", "0.05",
+                      "--machine", "AMD X2", "--trace", str(path))
+        assert code == 0
+        events = read_trace(path)
+        assert events, "trace file is empty"
+        names = {e.name for e in events}
+        assert "engine.plan" in names and "sim.memory" in names
+        # The CLI disables the global tracer when the command exits.
+        assert get_tracer() is None
+
+    def test_trace_flag_before_subcommand(self, capsys, tmp_path):
+        from repro.observe.trace import read_trace
+
+        path = tmp_path / "pre.jsonl"
+        code, _ = run(capsys, "--trace", str(path), "tune", "Dense",
+                      "--scale", "0.02", "--threads", "1")
+        assert code == 0
+        assert {e.name for e in read_trace(path)} >= {"engine.plan"}
+
+    def test_trace_chrome_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "chrome.json"
+        code, _ = run(capsys, "stats", "Dense", "--scale", "0.02",
+                      "--trace-chrome", str(path))
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["--version"])

@@ -1,0 +1,367 @@
+"""Tests for the observability layer (repro.observe)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import OptimizationLevel, SpmvEngine
+from repro.machines import get_machine
+from repro.matrices import generate
+from repro.observe import (
+    BottleneckAttribution,
+    NULL_SPAN,
+    Tracer,
+    attribute,
+    bottleneck_shares,
+)
+from repro.observe import metrics as metrics_mod
+from repro.observe import trace as trace_mod
+from repro.observe.metrics import MetricsRegistry, get_registry
+from repro.observe.trace import read_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    """Every test starts and ends with tracing off and metrics empty."""
+    trace_mod.disable()
+    get_registry().reset()
+    yield
+    trace_mod.disable()
+    get_registry().reset()
+
+
+class TestTracer:
+    def test_spans_nest_and_record_depth(self):
+        t = trace_mod.enable()
+        with trace_mod.span("outer", kind="test"):
+            with trace_mod.span("inner"):
+                pass
+        events = t.events
+        assert [e.name for e in events] == ["inner", "outer"]
+        by_name = {e.name: e for e in events}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["inner"].start_us >= by_name["outer"].start_us
+        assert by_name["outer"].duration_us >= by_name["inner"].duration_us
+        assert by_name["outer"].args == {"kind": "test"}
+
+    def test_set_attaches_args(self):
+        t = trace_mod.enable()
+        with trace_mod.span("s") as s:
+            s.set(n_blocks=4)
+        assert t.events[0].args == {"n_blocks": 4}
+
+    def test_exception_is_annotated_and_propagates(self):
+        t = trace_mod.enable()
+        with pytest.raises(ValueError):
+            with trace_mod.span("boom"):
+                raise ValueError("x")
+        assert t.events[0].args["error"] == "ValueError"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = trace_mod.enable()
+        with trace_mod.span("a", matrix="Dense"):
+            with trace_mod.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        n = t.write_jsonl(path)
+        assert n == 2
+        events = read_trace(path)
+        assert [e.name for e in events] == ["b", "a"]
+        assert events[1].args == {"matrix": "Dense"}
+        assert events[0].duration_us >= 0.0
+        # Every line is standalone JSON.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_chrome_export(self, tmp_path):
+        t = trace_mod.enable()
+        with trace_mod.span("phase"):
+            pass
+        path = tmp_path / "trace.json"
+        assert t.write_chrome(path) == 1
+        doc = json.loads(path.read_text())
+        (ev,) = doc["traceEvents"]
+        assert ev["ph"] == "X" and ev["name"] == "phase"
+        assert ev["ts"] >= 0 and ev["dur"] >= 0
+
+    def test_disabled_tracer_is_noop(self):
+        assert not trace_mod.is_enabled()
+        s = trace_mod.span("anything", big=1)
+        assert s is NULL_SPAN
+        with s as inner:
+            inner.set(ignored=True)
+        # Enabling afterwards starts from a clean slate: nothing from
+        # the disabled period leaked anywhere.
+        t = trace_mod.enable()
+        assert t.events == []
+
+    def test_disabled_instrumented_pipeline_emits_nothing(self):
+        engine = SpmvEngine(get_machine("AMD X2"))
+        coo = generate("Dense", scale=0.02, seed=0)
+        engine.simulate(engine.plan(coo, n_threads=1))
+        t = trace_mod.enable()
+        assert t.events == []
+
+    def test_clear(self):
+        t = trace_mod.enable()
+        with trace_mod.span("x"):
+            pass
+        t.clear()
+        assert t.events == []
+
+    def test_standalone_tracer_instances_are_independent(self):
+        a, b = Tracer(), Tracer()
+        with a.span("only-a"):
+            pass
+        assert a.names() == ["only-a"]
+        assert b.names() == []
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("plan.calls")
+        reg.inc("plan.calls", 2)
+        reg.inc("heuristic.format_chosen", 3, fmt="bcsr")
+        reg.gauge("bench.sweep_progress", 0.5, machine="AMD X2")
+        reg.observe("native.worker_seconds", 0.1)
+        reg.observe("native.worker_seconds", 0.3)
+        assert reg.counter("plan.calls") == 3
+        assert reg.counter("heuristic.format_chosen", fmt="bcsr") == 3
+        assert reg.counter("heuristic.format_chosen", fmt="csr") == 0
+        assert reg.gauge_value("bench.sweep_progress",
+                               machine="AMD X2") == 0.5
+        h = reg.histogram("native.worker_seconds")
+        assert h.count == 2 and h.min == 0.1 and h.max == 0.3
+        assert h.mean == pytest.approx(0.2)
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("m", b=1, a=2)
+        assert reg.counter("m", a=2, b=1) == 1
+
+    def test_reset_clears_everything(self):
+        reg = get_registry()
+        reg.inc("a")
+        reg.gauge("b", 1.0)
+        reg.observe("c", 2.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_registry_resets_between_tests_1(self):
+        get_registry().inc("leak.check")
+        assert get_registry().counter("leak.check") == 1
+
+    def test_registry_resets_between_tests_2(self):
+        # Runs after _1 under -p no:randomly default ordering, but the
+        # autouse fixture guarantees isolation in any order.
+        assert get_registry().counter("leak.check") == 0
+
+    def test_render(self):
+        reg = MetricsRegistry()
+        assert reg.render() == "(no metrics recorded)"
+        reg.inc("plan.calls", 5)
+        reg.observe("t", 1.0)
+        out = reg.render()
+        assert "plan.calls" in out and "5" in out and "n=1" in out
+        assert reg.render(prefix="nope") == "(no metrics recorded)"
+
+
+class TestAttribution:
+    def test_shares_sum_to_one(self):
+        for comp, mem, kind in [(1.0, 3.0, "memory"), (2.0, 0.5, "memory"),
+                                (1.0, 4.0, "latency"), (0.0, 1.0, "memory")]:
+            s = bottleneck_shares(comp, mem, kind)
+            assert s.memory + s.compute + s.latency == pytest.approx(1.0)
+
+    def test_latency_kind_routes_memory_component(self):
+        s = bottleneck_shares(1.0, 3.0, "latency")
+        assert s.memory == 0.0
+        assert s.latency == pytest.approx(0.75)
+        assert s.dominant == "latency"
+
+    def test_degenerate_zero_time(self):
+        s = bottleneck_shares(0.0, 0.0)
+        assert s.compute == 1.0
+        assert s.memory + s.compute + s.latency == pytest.approx(1.0)
+
+    def test_attribute_real_simulation(self):
+        engine = SpmvEngine(get_machine("AMD X2"))
+        coo = generate("Econom", scale=0.05, seed=0)
+        res = engine.simulate(engine.plan(coo, n_threads=4))
+        shares = attribute(res)
+        assert shares.memory + shares.compute + shares.latency == \
+            pytest.approx(1.0)
+        att = res.extras["attribution"]
+        assert att["memory_share"] + att["compute_share"] + \
+            att["latency_share"] == pytest.approx(1.0)
+        assert res.extras["phase_seconds"]["memory_model"] >= 0.0
+        assert res.extras["phase_seconds"]["compute_model"] >= 0.0
+
+    def test_attribute_without_extras_recomputes(self):
+        engine = SpmvEngine(get_machine("Niagara"))
+        coo = generate("Dense", scale=0.02, seed=0)
+        res = engine.simulate(engine.plan(coo, n_threads=1))
+        stripped = type(res)(**{
+            **{f: getattr(res, f) for f in (
+                "machine_name", "time_s", "gflops", "traffic",
+                "sustained_gbs", "compute_time_s", "memory_time_s",
+                "bottleneck", "cache_resident", "sockets",
+                "cores_per_socket", "threads_per_core", "imbalance",
+            )},
+            "extras": {},
+        })
+        s = attribute(stripped)
+        assert s.memory + s.compute + s.latency == pytest.approx(1.0)
+
+    def test_aggregation_rows_and_table(self):
+        engine = SpmvEngine(get_machine("AMD X2"))
+        att = BottleneckAttribution()
+        for name in ["Econom", "Circuit"]:
+            coo = generate(name, scale=0.05, seed=0)
+            for t in (1, 4):
+                att.add(engine.simulate(engine.plan(coo, n_threads=t)),
+                        matrix=name, label=f"{t}t")
+        rows = att.rows()
+        assert len(rows) == 2  # grouped by (machine, matrix)
+        for row in rows:
+            assert row["n"] == 2
+            total = (row["memory_share"] + row["compute_share"]
+                     + row["latency_share"])
+            assert total == pytest.approx(1.0)
+            assert row["bound"] in ("memory", "compute", "latency")
+            assert row["max_imbalance"] >= 1.0
+        by_label = att.rows(group_by=("label",))
+        assert {r["label"] for r in by_label} == {"1t", "4t"}
+        table = att.table()
+        assert "mem%" in table and "Econom" in table
+
+    def test_niagara_single_thread_is_latency_bound(self):
+        # The paper's signature case: 1-thread in-order Niagara exposes
+        # full memory latency; attribution must say "latency", not
+        # "memory".
+        engine = SpmvEngine(get_machine("Niagara"))
+        coo = generate("Econom", scale=0.05, seed=0)
+        res = engine.simulate(engine.plan(
+            coo, level=OptimizationLevel.NAIVE, n_threads=1
+        ))
+        shares = attribute(res)
+        assert shares.latency > 0.1
+        assert shares.memory == 0.0
+
+
+class TestPipelineInstrumentation:
+    def test_plan_and_simulate_emit_phase_spans(self):
+        t = trace_mod.enable()
+        engine = SpmvEngine(get_machine("AMD X2"))
+        coo = generate("Econom", scale=0.05, seed=0)
+        plan = engine.plan(coo, n_threads=2)
+        engine.simulate(plan)
+        names = set(t.names())
+        for expected in ["engine.plan", "plan.partition",
+                         "plan.cache_block", "plan.format_select",
+                         "engine.simulate", "sim.memory", "sim.compute"]:
+            assert expected in names, expected
+        # plan's span knows how many blocks it created
+        plan_ev = next(e for e in t.events if e.name == "engine.plan")
+        assert plan_ev.args["n_blocks"] == len(plan.profile.blocks)
+        assert plan_ev.args["machine"] == "AMD X2"
+
+    def test_plan_metrics(self):
+        reg = get_registry()
+        engine = SpmvEngine(get_machine("AMD X2"))
+        coo = generate("Econom", scale=0.05, seed=0)
+        plan = engine.plan(coo, n_threads=2)
+        assert reg.counter("plan.calls") == 1
+        assert reg.counter("plan.blocks_created") == \
+            len(plan.profile.blocks)
+        snap = reg.snapshot()["counters"]
+        fmt_total = sum(
+            v for k, v in snap.items()
+            if k.startswith("heuristic.format_chosen{")
+        )
+        assert fmt_total == len(plan.choices)
+        engine.simulate(plan)
+        assert reg.counter("sim.runs", machine="AMD X2") == 1
+
+    def test_tune_records_materialize_span(self):
+        t = trace_mod.enable()
+        engine = SpmvEngine(get_machine("Clovertown"))
+        coo = generate("Dense", scale=0.02, seed=0)
+        engine.tune(coo, n_threads=1)
+        assert "engine.materialize" in t.names()
+        assert get_registry().counter("engine.tunes") == 1
+
+
+class TestBaselineInstrumentation:
+    def test_oski_spans_and_counters(self):
+        from repro.baselines import OskiTuner
+
+        t = trace_mod.enable()
+        tuner = OskiTuner(get_machine("AMD X2"))
+        coo = generate("Circuit", scale=0.05, seed=0)
+        tuner.simulate(coo)
+        names = set(t.names())
+        assert "oski.machine_profile" in names
+        assert "oski.choose_blocking" in names
+        reg = get_registry()
+        assert reg.counter("oski.profile_builds", machine="AMD X2") == 1
+        assert reg.counter("oski.fill_estimates") > 0
+        # Second tune reuses the memoized profile.
+        tuner.simulate(coo)
+        assert reg.counter("oski.profile_builds", machine="AMD X2") == 1
+
+    def test_petsc_spans_and_comm_fraction(self):
+        from repro.baselines.petsc import petsc_spmv_model
+
+        t = trace_mod.enable()
+        coo = generate("Econom", scale=0.05, seed=0)
+        res = petsc_spmv_model(coo, get_machine("AMD X2"), 2)
+        names = set(t.names())
+        assert "petsc.tune_ranks" in names
+        assert "petsc.comm_model" in names
+        h = get_registry().histogram("petsc.comm_fraction")
+        assert h.count == 1
+        assert h.max == pytest.approx(res.comm_fraction)
+
+
+class TestNativeInstrumentation:
+    def test_worker_seconds_recorded(self):
+        import multiprocessing as mp
+
+        from repro.formats import coo_to_csr
+        from repro.parallel.native import native_parallel_spmv
+        from tests.conftest import random_coo
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        import numpy as np
+
+        coo = random_coo(400, 400, 0.05, seed=3)
+        csr = coo_to_csr(coo)
+        x = np.ones(csr.ncols)
+        y = native_parallel_spmv(csr, x, n_workers=2,
+                                 min_nnz_per_worker=1)
+        np.testing.assert_allclose(y, csr.spmv(x), rtol=1e-12)
+        reg = get_registry()
+        assert reg.counter("native.calls") == 1
+        assert reg.histogram("native.worker_seconds").count == 2
+        assert reg.gauge_value("native.last_imbalance") >= 1.0
+
+    def test_serial_fallback_counted(self):
+        import numpy as np
+
+        from repro.formats import coo_to_csr
+        from tests.conftest import random_coo
+        from repro.parallel.native import native_parallel_spmv
+
+        coo = random_coo(50, 50, 0.1, seed=4)
+        csr = coo_to_csr(coo)
+        native_parallel_spmv(csr, np.ones(50))  # too small: serial
+        assert get_registry().counter("native.serial_fallbacks") == 1
