@@ -10,6 +10,8 @@ compare MATRIX      All five machines on one matrix (mini Figure 2a).
 stats MATRIX        Bottleneck-attribution table over the sweep ladder.
 info FILE           Structure report for a MatrixMarket/.npz file.
 validate            Analytic-vs-exact cache traffic validation sweep.
+serve               Long-running batched SpMV HTTP service.
+plan-cache          Inspect or clear the on-disk tuned-plan cache.
 
 Every command accepts ``--trace FILE`` (JSONL spans, load with
 :func:`repro.observe.read_trace`) and ``--trace-chrome FILE`` (Chrome
@@ -71,10 +73,10 @@ def _cmd_suite(args) -> int:
 
 
 def _load_or_generate(args):
-    if args.matrix.endswith((".mtx", ".npz")):
-        if args.matrix.endswith(".mtx"):
-            return load_matrix_market(args.matrix)
-        return load_matrix(args.matrix)
+    if args.matrix.endswith((".mtx", ".mtx.gz", ".npz")):
+        if args.matrix.endswith(".npz"):
+            return load_matrix(args.matrix)
+        return load_matrix_market(args.matrix)
     return generate(args.matrix, scale=args.scale, seed=args.seed)
 
 
@@ -258,6 +260,63 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeClient, ServeHTTPServer
+
+    client = ServeClient(
+        machine=args.machine,
+        n_threads=args.threads,
+        plan_cache_dir=args.plan_cache,
+        capacity_bytes=(
+            int(args.capacity_mb * 1e6) if args.capacity_mb else None
+        ),
+        max_batch=args.max_batch,
+        flush_deadline_s=args.flush_deadline_ms / 1e3,
+        max_queue=args.max_queue,
+        n_workers=args.workers,
+    )
+    httpd = ServeHTTPServer((args.host, args.port), client)
+    print(
+        f"serving SpMV for {args.machine!r} at "
+        f"http://{args.host}:{httpd.port} "
+        f"(plan cache: {args.plan_cache or 'off'}; Ctrl-C drains)",
+        file=sys.stderr,
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("draining in-flight batches ...", file=sys.stderr)
+    finally:
+        httpd.server_close()
+        client.close()
+    return 0
+
+
+def _cmd_plan_cache(args) -> int:
+    from .serve import PlanCache
+
+    cache = PlanCache(args.dir)
+    if args.action == "clear":
+        print(f"removed {cache.clear()} cached plan(s) from {args.dir}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"(no cached plans in {args.dir})")
+        return 0
+    rows = [
+        [e["machine"], e["fingerprint"], e["model_version"],
+         e["n_blocks"], e["n_threads"],
+         "yes" if e["fresh"] else "STALE", e["bytes"]]
+        for e in entries
+    ]
+    print(format_table(
+        ["machine", "fingerprint", "version", "blocks", "threads",
+         "fresh", "bytes"],
+        rows, title=f"tuned-plan cache at {args.dir}",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     # Tracing flags are shared by every subcommand (argparse "global"
     # options placed before the subcommand do not survive subparser
@@ -321,6 +380,35 @@ def build_parser() -> argparse.ArgumentParser:
                         parents=[common])
     sp.add_argument("cache", help="benchmarks/.bench_cache/fig1_*.json")
     sp.add_argument("--machine", default="(cached sweep)")
+
+    sp = sub.add_parser("serve", help="run the batched SpMV service",
+                        parents=[common])
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8377,
+                    help="0 picks a free port")
+    sp.add_argument("--machine", default="AMD X2",
+                    choices=machine_names())
+    sp.add_argument("--threads", type=int, default=None,
+                    help="plan thread count (default: machine cores)")
+    sp.add_argument("--plan-cache", metavar="DIR", default=None,
+                    help="persist tuned plans under DIR")
+    sp.add_argument("--capacity-mb", type=float, default=None,
+                    help="registry footprint bound (LRU eviction)")
+    sp.add_argument("--max-batch", type=int, default=8,
+                    help="max requests coalesced into one SpMM")
+    sp.add_argument("--flush-deadline-ms", type=float, default=2.0,
+                    help="max wait before a partial batch dispatches")
+    sp.add_argument("--max-queue", type=int, default=1024,
+                    help="admission bound (full queue answers 429)")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="worker threads (default: machine cores)")
+
+    sp = sub.add_parser("plan-cache",
+                        help="inspect or clear the tuned-plan store",
+                        parents=[common])
+    sp.add_argument("action", choices=["inspect", "clear"])
+    sp.add_argument("--dir", required=True,
+                    help="plan cache directory (serve --plan-cache)")
     return p
 
 
@@ -334,6 +422,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "validate": _cmd_validate,
     "figures": _cmd_figures,
+    "serve": _cmd_serve,
+    "plan-cache": _cmd_plan_cache,
 }
 
 

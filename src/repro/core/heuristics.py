@@ -50,6 +50,33 @@ class FormatChoice:
     def index_bytes(self) -> int:
         return int(self.index_width)
 
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (see :mod:`repro.serve.plancache`)."""
+        return {
+            "format_name": self.format_name,
+            "r": self.r,
+            "c": self.c,
+            "index_width": int(self.index_width),
+            "ntiles": self.ntiles,
+            "nnz_stored": self.nnz_stored,
+            "footprint": self.footprint,
+            "n_segments": self.n_segments,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FormatChoice":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            format_name=d["format_name"],
+            r=int(d["r"]),
+            c=int(d["c"]),
+            index_width=IndexWidth(int(d["index_width"])),
+            ntiles=int(d["ntiles"]),
+            nnz_stored=int(d["nnz_stored"]),
+            footprint=int(d["footprint"]),
+            n_segments=int(d["n_segments"]),
+        )
+
 
 def _tile_stats(row: np.ndarray, col: np.ndarray, r: int, c: int,
                 n_bcols: int) -> tuple[int, int]:

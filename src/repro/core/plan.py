@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
 
 from ..errors import TuningError
 from ..formats.base import IndexWidth, SparseFormat
@@ -12,7 +14,7 @@ from ..formats.coo import COOMatrix
 from ..machines.model import Machine, PlacementPolicy
 from ..parallel.partition import RowPartition
 from ..simulator.cpu import KernelVariant
-from ..simulator.traffic import PlanProfile
+from ..simulator.traffic import BlockProfile, PlanProfile
 from .heuristics import FormatChoice
 
 
@@ -35,6 +37,50 @@ class OptimizationConfig:
     variant: KernelVariant = field(default_factory=KernelVariant)
     policy: PlacementPolicy = PlacementPolicy.SINGLE_NODE
     fill_order: str = "pack"
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (see :mod:`repro.serve.plancache`)."""
+        return {
+            "label": self.label,
+            "sw_prefetch": self.sw_prefetch,
+            "register_blocking": self.register_blocking,
+            "cache_blocking": self.cache_blocking,
+            "tlb_blocking": self.tlb_blocking,
+            "index_compress": self.index_compress,
+            "allow_bcoo": self.allow_bcoo,
+            "allow_gcsr": self.allow_gcsr,
+            "cell_dense_blocking": self.cell_dense_blocking,
+            "block_candidates": (
+                None if self.block_candidates is None
+                else [list(rc) for rc in self.block_candidates]
+            ),
+            "variant": asdict(self.variant),
+            "policy": self.policy.value,
+            "fill_order": self.fill_order,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OptimizationConfig":
+        """Inverse of :meth:`to_dict`."""
+        cands = d.get("block_candidates")
+        return cls(
+            label=d["label"],
+            sw_prefetch=bool(d["sw_prefetch"]),
+            register_blocking=bool(d["register_blocking"]),
+            cache_blocking=bool(d["cache_blocking"]),
+            tlb_blocking=bool(d["tlb_blocking"]),
+            index_compress=bool(d["index_compress"]),
+            allow_bcoo=bool(d["allow_bcoo"]),
+            allow_gcsr=bool(d["allow_gcsr"]),
+            cell_dense_blocking=bool(d["cell_dense_blocking"]),
+            block_candidates=(
+                None if cands is None
+                else tuple((int(r), int(c)) for r, c in cands)
+            ),
+            variant=KernelVariant(**d["variant"]),
+            policy=PlacementPolicy(d["policy"]),
+            fill_order=d["fill_order"],
+        )
 
 
 @dataclass(frozen=True)
@@ -76,6 +122,60 @@ class SpmvPlan:
                 CacheBlock(r0, r1, c0, c1, _build_format(local, choice))
             )
         return CacheBlockedMatrix(coo.shape, blocks)
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe encoding of the whole plan.
+
+        The machine is stored by its Table 1 name (machine models are
+        code, not data — :func:`from_dict` re-resolves through the
+        registry, so a plan cannot silently carry a stale model).
+        """
+        return {
+            "machine": self.machine.name,
+            "config": self.config.to_dict(),
+            "profile": {
+                "shape": list(self.profile.shape),
+                "n_threads": self.profile.n_threads,
+                "blocks": [asdict(b) for b in self.profile.blocks],
+            },
+            "partition": {
+                "bounds": self.partition.bounds.tolist(),
+                "nnz_per_part": self.partition.nnz_per_part.tolist(),
+            },
+            "choices": [
+                {"extent": list(ext), "choice": choice.to_dict()}
+                for ext, choice in self.choices
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpmvPlan":
+        """Inverse of :meth:`to_dict`."""
+        from ..machines.registry import get_machine
+
+        prof = d["profile"]
+        profile = PlanProfile(
+            shape=tuple(int(v) for v in prof["shape"]),
+            blocks=tuple(BlockProfile(**b) for b in prof["blocks"]),
+            n_threads=int(prof["n_threads"]),
+        )
+        partition = RowPartition(
+            bounds=np.asarray(d["partition"]["bounds"], dtype=np.int64),
+            nnz_per_part=np.asarray(
+                d["partition"]["nnz_per_part"], dtype=np.int64
+            ),
+        )
+        return cls(
+            machine=get_machine(d["machine"]),
+            config=OptimizationConfig.from_dict(d["config"]),
+            profile=profile,
+            partition=partition,
+            choices=tuple(
+                (tuple(int(v) for v in item["extent"]),
+                 FormatChoice.from_dict(item["choice"]))
+                for item in d["choices"]
+            ),
+        )
 
     def describe(self) -> dict:
         """Human-readable plan summary."""

@@ -56,3 +56,13 @@ class TuningError(ReproError):
 
 class IOFormatError(ReproError):
     """A matrix file could not be parsed."""
+
+
+class ServeError(ReproError):
+    """The serving subsystem was misused (unknown matrix, closed
+    service, malformed request)."""
+
+
+class ServeAdmissionError(ServeError):
+    """A request was rejected by admission control: the scheduler's
+    bounded queue is full. HTTP callers see this as a 429."""

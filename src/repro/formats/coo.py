@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from .._util import (
@@ -144,6 +146,21 @@ class COOMatrix(SparseFormat):
             self.val[mask],
             dedupe=False,
         )
+
+    def content_fingerprint(self) -> str:
+        """Stable content hash of the matrix (shape + sorted triplet).
+
+        COO storage is canonical — row-major sorted, duplicates summed —
+        so two matrices with equal entries hash identically regardless
+        of construction order. Keys the serve-layer matrix registry and
+        the on-disk tuned-plan cache.
+        """
+        h = hashlib.sha256()
+        h.update(np.asarray(self.shape, dtype=np.int64).tobytes())
+        h.update(self.row.tobytes())
+        h.update(self.col.tobytes())
+        h.update(self.val.tobytes())
+        return h.hexdigest()[:16]
 
     def naive_bytes(self) -> int:
         """The paper's naive cost: 8B value + 4B row + 4B col per nnz."""

@@ -38,6 +38,12 @@ def spmm(matrix, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
         raise MatrixFormatError(
             f"Y must have shape ({matrix.nrows}, {k}), got {y.shape}"
         )
+    if k == 1:
+        # Single-vector batches take the exact SpMV kernel so a batch
+        # of one is bit-for-bit identical to a direct spmv call (the
+        # serve scheduler relies on this for solver reproducibility).
+        matrix.spmv(x[:, 0], y[:, 0])
+        return y
     if isinstance(matrix, CSRMatrix):
         return _spmm_csr(matrix, x, y)
     if isinstance(matrix, BCSRMatrix):

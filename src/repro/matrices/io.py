@@ -11,6 +11,7 @@ them through :func:`load_matrix_market` to replace the synthetic suite.
 
 from __future__ import annotations
 
+import gzip
 import io as _io
 import os
 from typing import TextIO
@@ -24,16 +25,25 @@ _VALID_FIELDS = {"real", "integer", "pattern"}
 _VALID_SYMM = {"general", "symmetric", "skew-symmetric"}
 
 
+def _open_text(path: str | os.PathLike, mode: str) -> TextIO:
+    """Open a matrix text file, transparently gunzipping ``*.gz``."""
+    if os.fspath(path).endswith(".gz"):
+        return gzip.open(path, mode)
+    return open(path, mode.rstrip("t") or "r")
+
+
 def load_matrix_market(path_or_file: str | os.PathLike | TextIO) -> COOMatrix:
     """Parse a Matrix Market coordinate file into COO.
 
     Supports real/integer/pattern fields with general, symmetric or
     skew-symmetric storage (complex is rejected — the paper's kernels
-    are real double precision).
+    are real double precision). Paths ending in ``.gz`` decompress
+    transparently — UF/SuiteSparse collection downloads ship as
+    ``.mtx.gz``.
     """
     close = False
     if isinstance(path_or_file, (str, os.PathLike)):
-        f = open(path_or_file, "r")
+        f = _open_text(path_or_file, "rt")
         close = True
     else:
         f = path_or_file
@@ -104,10 +114,11 @@ def save_matrix_market(
     path_or_file: str | os.PathLike | TextIO, coo: COOMatrix,
     *, comment: str = "written by repro",
 ) -> None:
-    """Write COO as a general real Matrix Market coordinate file."""
+    """Write COO as a general real Matrix Market coordinate file
+    (gzip-compressed when the path ends in ``.gz``)."""
     close = False
     if isinstance(path_or_file, (str, os.PathLike)):
-        f = open(path_or_file, "w")
+        f = _open_text(path_or_file, "wt")
         close = True
     else:
         f = path_or_file

@@ -24,7 +24,7 @@ from .attribution import (
     attribute,
     bottleneck_shares,
 )
-from .metrics import MetricsRegistry, get_registry
+from .metrics import MetricsRegistry, get_registry, render_prometheus
 from .trace import (
     NULL_SPAN,
     SpanEvent,
@@ -53,5 +53,6 @@ __all__ = [
     "get_tracer",
     "is_enabled",
     "read_trace",
+    "render_prometheus",
     "span",
 ]

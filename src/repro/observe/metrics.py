@@ -15,6 +15,7 @@ sorted ``{k=v}`` suffix, Prometheus-style:
 
 from __future__ import annotations
 
+import re
 import threading
 from dataclasses import dataclass
 
@@ -130,6 +131,62 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+    def render_prometheus(self, *, prefix: str = "repro_") -> str:
+        """Prometheus text exposition (format 0.0.4) of every series.
+
+        Dotted names flatten to underscores (``serve.batches`` →
+        ``repro_serve_batches``); label suffixes become Prometheus
+        label sets. Histograms export as summaries (``_count``/``_sum``)
+        plus ``_min``/``_max`` gauges.
+        """
+        snap = self.snapshot()
+        lines: list[str] = []
+
+        def emit(kind: str, series: dict, fmt) -> None:
+            by_name: dict[str, list[tuple[str, object]]] = {}
+            for key in sorted(series):
+                name, labels = _parse_key(key)
+                by_name.setdefault(name, []).append((labels, series[key]))
+            for name, entries in sorted(by_name.items()):
+                full = prefix + _sanitize(name)
+                lines.append(f"# TYPE {full} {kind}")
+                for labels, value in entries:
+                    fmt(full, labels, value)
+
+        def scalar(full: str, labels: str, value) -> None:
+            lines.append(f"{full}{labels} {value:g}")
+
+        def summary(full: str, labels: str, hist) -> None:
+            lines.append(f"{full}_count{labels} {hist.count:g}")
+            lines.append(f"{full}_sum{labels} {hist.total:g}")
+            lines.append(f"{full}_min{labels} {hist.min:g}")
+            lines.append(f"{full}_max{labels} {hist.max:g}")
+
+        emit("counter", snap["counters"], scalar)
+        emit("gauge", snap["gauges"], scalar)
+        emit("summary", snap["histograms"], summary)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _sanitize(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus charset."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _parse_key(key: str) -> tuple[str, str]:
+    """Split a registry key back into (name, prometheus label set)."""
+    if "{" not in key:
+        return key, ""
+    name, inner = key.split("{", 1)
+    inner = inner.rstrip("}")
+    parts = []
+    for item in inner.split(","):
+        k, _, v = item.partition("=")
+        v = v.replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{_sanitize(k)}="{v}"')
+    return name, "{" + ",".join(parts) + "}"
+
+
 _REGISTRY = MetricsRegistry()
 
 
@@ -147,3 +204,8 @@ def gauge(name: str, value: float, **labels) -> None:
 
 def observe(name: str, value: float, **labels) -> None:
     _REGISTRY.observe(name, value, **labels)
+
+
+def render_prometheus(*, prefix: str = "repro_") -> str:
+    """Prometheus exposition of the process-global registry."""
+    return _REGISTRY.render_prometheus(prefix=prefix)

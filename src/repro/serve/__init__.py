@@ -1,0 +1,41 @@
+"""Long-running batched SpMV serving layer.
+
+Turns the one-shot tuning library into a service with the economics
+the paper argues for — tune once per (matrix, machine), amortize over
+thousands of multiplies:
+
+* :mod:`.registry` — content-fingerprinted matrix registry holding
+  tuned plans and materialized formats, LRU-bounded by footprint.
+* :mod:`.plancache` — lossless JSON plan serialization plus a
+  version-stamped on-disk store keyed by
+  ``(machine, fingerprint, repro.__version__)``.
+* :mod:`.scheduler` — coalesces concurrent same-matrix requests into
+  multi-vector SpMM batches (size/deadline triggered) with bounded-
+  queue admission control.
+* :mod:`.worker` — instrumented thread pool sized to the machine model.
+* :mod:`.server` — stdlib HTTP endpoint (``/v1/spmv``,
+  ``/v1/matrices``, ``/healthz``, Prometheus ``/metrics``).
+* :mod:`.client` — the in-process client; its :class:`MatrixOperator`
+  satisfies the solver ``LinearOperator`` protocol.
+"""
+
+from .client import MatrixOperator, ServeClient
+from .plancache import PlanCache, plans_equal
+from .registry import MatrixRegistry, RegistryEntry
+from .scheduler import BatchScheduler
+from .server import ServeHTTPServer, start_server, stop_server
+from .worker import WorkerPool
+
+__all__ = [
+    "BatchScheduler",
+    "MatrixOperator",
+    "MatrixRegistry",
+    "PlanCache",
+    "RegistryEntry",
+    "ServeClient",
+    "ServeHTTPServer",
+    "WorkerPool",
+    "plans_equal",
+    "start_server",
+    "stop_server",
+]

@@ -1,0 +1,171 @@
+"""In-process serving client: registry + plan cache + scheduler + pool.
+
+:class:`ServeClient` is the one object an application embeds: it owns
+the tuned-matrix registry, the on-disk plan cache, the coalescing
+scheduler, and the worker pool. The HTTP layer
+(:mod:`repro.serve.server`) is a thin shell over the same client.
+
+:meth:`ServeClient.operator` returns a :class:`MatrixOperator` whose
+``spmv(x, y=None)``/``shape``/``__call__`` surface satisfies the
+``LinearOperator`` protocol of :mod:`repro.solvers`, so conjugate
+gradients, the power method, and (via its ``operator=`` hook) PageRank
+run against the service unchanged::
+
+    client = ServeClient("AMD X2", plan_cache_dir="~/.cache/repro")
+    fp = client.register(coo).fingerprint
+    result = conjugate_gradient(client.operator(fp), b)
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..errors import ServeError
+from ..formats.coo import COOMatrix
+from ..machines.model import Machine
+from ..machines.registry import get_machine
+from ..observe.trace import span as _span
+from .plancache import PlanCache
+from .registry import MatrixRegistry, RegistryEntry
+from .scheduler import BatchScheduler
+from .worker import WorkerPool
+
+
+class MatrixOperator:
+    """A registered matrix as a solver-ready linear operator.
+
+    Every ``spmv`` routes through the scheduler, so independent callers
+    sharing a matrix coalesce into multi-vector batches while a lone
+    sequential caller (an iterative solver) gets exact single-vector
+    kernels.
+    """
+
+    def __init__(self, client: "ServeClient", fingerprint: str,
+                 shape: tuple[int, int]):
+        self._client = client
+        self.fingerprint = fingerprint
+        self._shape = shape
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nrows(self) -> int:
+        return self._shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self._shape[1]
+
+    def spmv(self, x: np.ndarray,
+             y: np.ndarray | None = None) -> np.ndarray:
+        """``y ← y + A·x`` computed by the service."""
+        result = self._client.spmv(self.fingerprint, x)
+        if y is None:
+            return result
+        y += result
+        return y
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.spmv(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<MatrixOperator {self.nrows}x{self.ncols} "
+                f"fingerprint={self.fingerprint}>")
+
+
+class ServeClient:
+    """The embedded SpMV service."""
+
+    def __init__(
+        self,
+        machine: Machine | str = "AMD X2",
+        *,
+        n_threads: int | None = None,
+        plan_cache_dir: str | os.PathLike | None = None,
+        capacity_bytes: int | None = None,
+        max_batch: int = 8,
+        flush_deadline_s: float = 0.002,
+        max_queue: int = 1024,
+        n_workers: int | None = None,
+    ):
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        self.machine = machine
+        plan_cache = (
+            PlanCache(os.path.expanduser(os.fspath(plan_cache_dir)))
+            if plan_cache_dir is not None else None
+        )
+        self.registry = MatrixRegistry(
+            machine, n_threads=n_threads,
+            capacity_bytes=capacity_bytes, plan_cache=plan_cache,
+        )
+        # Pool sized to the machine model being served: SpMV batches
+        # saturate its modeled core count, more threads just queue.
+        self.pool = WorkerPool(
+            n_workers if n_workers is not None else machine.n_cores
+        )
+        self.scheduler = BatchScheduler(
+            self.pool, max_batch=max_batch,
+            flush_deadline_s=flush_deadline_s, max_queue=max_queue,
+        )
+        self._closed = False
+
+    # ----------------------------------------------------- registration
+    def register(self, coo: COOMatrix,
+                 *, n_threads: int | None = None) -> RegistryEntry:
+        """Tune (plan-cache-aware) and admit a matrix; idempotent."""
+        return self.registry.register(coo, n_threads=n_threads)
+
+    def operator(self, fingerprint: str) -> MatrixOperator:
+        """Solver-ready handle for a registered matrix."""
+        entry = self.registry.get(fingerprint)
+        return MatrixOperator(self, entry.fingerprint, entry.shape)
+
+    # --------------------------------------------------------- requests
+    def submit(self, fingerprint: str, x: np.ndarray) -> Future:
+        """Asynchronous ``y = A·x``; coalesces with concurrent calls."""
+        entry = self.registry.get(fingerprint)
+        with _span("serve.request", fingerprint=fingerprint):
+            return self.scheduler.submit(entry, x)
+
+    def spmv(self, fingerprint: str, x: np.ndarray) -> np.ndarray:
+        """Synchronous ``y = A·x`` through the batching path."""
+        return self.submit(fingerprint, x).result()
+
+    # -------------------------------------------------------- lifecycle
+    def describe(self) -> dict:
+        """Service health summary (the ``/healthz`` body)."""
+        d = self.registry.describe()
+        d.update(
+            status="closed" if self._closed else "ok",
+            queued=self.scheduler.queued,
+            workers=self.pool.n_workers,
+            max_batch=self.scheduler.max_batch,
+        )
+        return d
+
+    def drain(self) -> None:
+        """Flush pending batches and wait for in-flight work."""
+        self.scheduler.drain()
+
+    def close(self) -> None:
+        """Graceful shutdown: drain the scheduler, stop the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        self.pool.shutdown(drain=True)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["MatrixOperator", "ServeClient", "ServeError"]

@@ -1,0 +1,164 @@
+"""Versioned on-disk store of tuned SpMV plans.
+
+The paper's economics are "tune once, run thousands of times": the
+expensive step is the planning pass, and its output — a
+:class:`~repro.core.plan.SpmvPlan` — is a pure function of
+``(matrix content, machine model, heuristic code)``. This module makes
+that output durable: plans serialize losslessly to JSON (via the
+``to_dict``/``from_dict`` pairs on the plan dataclasses) and are stored
+keyed by ``(machine, content fingerprint)`` inside an envelope stamped
+with ``repro.__version__`` — the same invalidation discipline as the
+benchmark disk cache, so a plan computed by older heuristics is never
+served silently after the model changes.
+
+Counters (``repro.observe.metrics``):
+
+* ``serve.plan_cache_hit`` — a stored plan was loaded and used.
+* ``serve.plan_cache_miss`` — no file for the key.
+* ``serve.plan_cache_stale`` — a file existed but its version,
+  machine, or fingerprint stamp did not match (treated as a miss).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .. import __version__
+from ..core.plan import SpmvPlan
+from ..errors import ServeError
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
+
+
+def plans_equal(a: SpmvPlan, b: SpmvPlan) -> bool:
+    """Field-by-field plan equality (dataclass ``==`` would trip on the
+    partition's ndarray fields)."""
+    return (
+        a.machine.name == b.machine.name
+        and a.config == b.config
+        and a.profile == b.profile
+        and np.array_equal(a.partition.bounds, b.partition.bounds)
+        and np.array_equal(a.partition.nnz_per_part,
+                           b.partition.nnz_per_part)
+        and a.choices == b.choices
+    )
+
+
+def _machine_slug(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() else "_" for ch in name
+    ).strip("_").lower()
+
+
+class PlanCache:
+    """Directory of ``<machine>/<fingerprint>.json`` plan envelopes."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- keys
+    def path_for(self, machine_name: str, fingerprint: str) -> Path:
+        if not fingerprint or any(c in fingerprint for c in "/\\."):
+            raise ServeError(f"bad fingerprint {fingerprint!r}")
+        return self.root / _machine_slug(machine_name) / \
+            f"{fingerprint}.json"
+
+    # ------------------------------------------------------ load / store
+    def load(self, machine_name: str, fingerprint: str) -> SpmvPlan | None:
+        """Return the cached plan for the key, or None on miss/stale."""
+        path = self.path_for(machine_name, fingerprint)
+        with _span("serve.plancache.load", machine=machine_name,
+                   fingerprint=fingerprint) as s:
+            if not path.exists():
+                _metrics.inc("serve.plan_cache_miss")
+                s.set(outcome="miss")
+                return None
+            try:
+                with open(path) as f:
+                    envelope = json.load(f)
+            except (json.JSONDecodeError, OSError):
+                _metrics.inc("serve.plan_cache_stale")
+                s.set(outcome="unreadable")
+                return None
+            if (not isinstance(envelope, dict)
+                    or envelope.get("model_version") != __version__
+                    or envelope.get("machine") != machine_name
+                    or envelope.get("fingerprint") != fingerprint
+                    or "plan" not in envelope):
+                _metrics.inc("serve.plan_cache_stale")
+                s.set(outcome="stale")
+                return None
+            try:
+                plan = SpmvPlan.from_dict(envelope["plan"])
+            except (KeyError, TypeError, ValueError):
+                _metrics.inc("serve.plan_cache_stale")
+                s.set(outcome="undecodable")
+                return None
+            _metrics.inc("serve.plan_cache_hit")
+            s.set(outcome="hit")
+            return plan
+
+    def store(self, fingerprint: str, plan: SpmvPlan) -> Path:
+        """Persist a plan under ``(plan.machine, fingerprint)``."""
+        path = self.path_for(plan.machine.name, fingerprint)
+        with _span("serve.plancache.store", machine=plan.machine.name,
+                   fingerprint=fingerprint):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            envelope = {
+                "model_version": __version__,
+                "machine": plan.machine.name,
+                "fingerprint": fingerprint,
+                "plan": plan.to_dict(),
+            }
+            tmp = path.with_suffix(".json.tmp")
+            with open(tmp, "w") as f:
+                json.dump(envelope, f, indent=1)
+            os.replace(tmp, path)
+            _metrics.inc("serve.plan_cache_store")
+        return path
+
+    # ------------------------------------------------------- maintenance
+    def entries(self) -> list[dict]:
+        """Summaries of every stored plan (the CLI ``plan-cache
+        inspect`` table): machine, fingerprint, version, freshness."""
+        out: list[dict] = []
+        if not self.root.exists():
+            return out
+        for path in sorted(self.root.glob("*/*.json")):
+            row = {"path": str(path), "bytes": path.stat().st_size,
+                   "machine": "?", "fingerprint": path.stem,
+                   "model_version": "?", "n_blocks": 0, "n_threads": 0,
+                   "fresh": False}
+            try:
+                with open(path) as f:
+                    envelope = json.load(f)
+                row["machine"] = envelope.get("machine", "?")
+                row["model_version"] = envelope.get("model_version", "?")
+                plan = envelope.get("plan", {})
+                row["n_blocks"] = len(plan.get("choices", []))
+                row["n_threads"] = plan.get("profile", {}) \
+                    .get("n_threads", 0)
+                row["fresh"] = (
+                    envelope.get("model_version") == __version__
+                )
+            except (json.JSONDecodeError, OSError):
+                pass
+            out.append(row)
+        return out
+
+    def clear(self) -> int:
+        """Delete every stored plan; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in list(self.root.glob("*/*.json")):
+            path.unlink()
+            removed += 1
+        for sub in list(self.root.iterdir()):
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        return removed

@@ -1,0 +1,195 @@
+"""In-memory matrix registry: fingerprints → tuned, materialized SpMV.
+
+One entry per distinct matrix *content* (COO fingerprint), holding the
+tuned plan and its materialized data structure so repeated ``y = A·x``
+requests skip both the planning pass and the format conversion. Tuning
+results come from (in order): the in-memory entry, the on-disk
+:class:`~repro.serve.plancache.PlanCache`, or a fresh planning pass
+(which is then written back to the disk cache).
+
+Memory is bounded: ``capacity_bytes`` caps the summed footprint of the
+materialized matrices, and registration evicts least-recently-used
+entries until the new matrix fits. Eviction drops only the in-memory
+materialization — the tuned plan stays on disk, so a re-registration
+of an evicted matrix is a plan-cache hit plus one materialization.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..core.engine import SpmvEngine
+from ..core.plan import SpmvPlan
+from ..errors import ServeError
+from ..formats.base import SparseFormat
+from ..formats.coo import COOMatrix
+from ..machines.model import Machine
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
+from .plancache import PlanCache
+
+
+@dataclass
+class RegistryEntry:
+    """One registered matrix: identity, tuned plan, live structure."""
+
+    fingerprint: str
+    shape: tuple[int, int]
+    nnz: int
+    plan: SpmvPlan
+    matrix: SparseFormat
+    footprint_bytes: int
+    from_plan_cache: bool     #: tuning came from the disk cache
+    hits: int = field(default=0)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def describe(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "shape": list(self.shape),
+            "nnz": self.nnz,
+            "footprint_bytes": self.footprint_bytes,
+            "n_threads": self.plan.n_threads,
+            "plan_cache_hit": self.from_plan_cache,
+            "hits": self.hits,
+        }
+
+
+class MatrixRegistry:
+    """LRU registry of tuned matrices for one machine model."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        n_threads: int | None = None,
+        capacity_bytes: int | None = None,
+        plan_cache: PlanCache | None = None,
+    ):
+        self.machine = machine
+        self.engine = SpmvEngine(machine)
+        self.n_threads = n_threads if n_threads is not None \
+            else machine.n_cores
+        if self.n_threads < 1:
+            raise ServeError("registry needs >= 1 thread")
+        self.capacity_bytes = capacity_bytes
+        self.plan_cache = plan_cache
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
+        self._total_bytes = 0
+
+    # ---------------------------------------------------------- queries
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total_bytes
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, fingerprint: str) -> RegistryEntry:
+        """Look up a registered matrix, refreshing its LRU position."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                raise ServeError(
+                    f"unknown matrix fingerprint {fingerprint!r}; "
+                    f"register it first"
+                )
+            self._entries.move_to_end(fingerprint)
+            entry.hits += 1
+            return entry
+
+    # ------------------------------------------------------ registration
+    def register(self, coo: COOMatrix,
+                 *, n_threads: int | None = None) -> RegistryEntry:
+        """Fingerprint, tune (cache-aware), materialize, and admit."""
+        fingerprint = coo.content_fingerprint()
+        with self._lock:
+            existing = self._entries.get(fingerprint)
+            if existing is not None:
+                self._entries.move_to_end(fingerprint)
+                _metrics.inc("serve.registry_rehits")
+                return existing
+        threads = n_threads if n_threads is not None else self.n_threads
+        # A plan needs at least one row per part; tiny matrices clamp.
+        threads = max(1, min(threads, coo.nrows, self.machine.n_threads))
+        with _span("serve.register", fingerprint=fingerprint,
+                   nnz=coo.nnz_logical, threads=threads) as s:
+            plan = None
+            if self.plan_cache is not None:
+                plan = self.plan_cache.load(self.machine.name, fingerprint)
+                if plan is not None and plan.n_threads != threads:
+                    # Cached under the same key but planned for another
+                    # thread count (the key is (machine, fingerprint,
+                    # version)): replan rather than serve a mismatched
+                    # partition.
+                    _metrics.inc("serve.plan_cache_thread_mismatch")
+                    plan = None
+            from_cache = plan is not None
+            if plan is None:
+                plan = self.engine.plan(coo, n_threads=threads)
+                if self.plan_cache is not None:
+                    self.plan_cache.store(fingerprint, plan)
+            with _span("serve.materialize", fingerprint=fingerprint):
+                matrix = plan.materialize(coo)
+            entry = RegistryEntry(
+                fingerprint=fingerprint,
+                shape=coo.shape,
+                nnz=coo.nnz_logical,
+                plan=plan,
+                matrix=matrix,
+                footprint_bytes=matrix.footprint_bytes(),
+                from_plan_cache=from_cache,
+            )
+            s.set(plan_cache_hit=from_cache,
+                  footprint_bytes=entry.footprint_bytes)
+        with self._lock:
+            self._admit(entry)
+        _metrics.inc("serve.matrices_registered")
+        return entry
+
+    def _admit(self, entry: RegistryEntry) -> None:
+        """Insert under the memory budget, evicting LRU entries.
+        Caller holds the lock."""
+        if self.capacity_bytes is not None:
+            while (self._entries
+                   and self._total_bytes + entry.footprint_bytes
+                   > self.capacity_bytes):
+                _, victim = self._entries.popitem(last=False)
+                self._total_bytes -= victim.footprint_bytes
+                _metrics.inc("serve.registry_evictions")
+        self._entries[entry.fingerprint] = entry
+        self._total_bytes += entry.footprint_bytes
+        _metrics.gauge("serve.registry_bytes", self._total_bytes)
+        _metrics.gauge("serve.registry_matrices", len(self._entries))
+
+    # -------------------------------------------------------- summaries
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "machine": self.machine.name,
+                "n_threads": self.n_threads,
+                "matrices": len(self._entries),
+                "total_bytes": self._total_bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "entries": [e.describe() for e in self._entries.values()],
+            }

@@ -1,0 +1,220 @@
+"""Request scheduler: coalesces concurrent SpMVs into SpMM batches.
+
+The bandwidth argument (paper §2.1, and the multicore roofline of
+Schubert et al.): SpMV streams the whole matrix once per right-hand
+side, so k concurrent ``y = A·x`` requests against the *same* matrix
+executed one by one cost k matrix sweeps — batched through the
+multi-vector kernel (:func:`repro.formats.multivector.spmm`) they cost
+one sweep, multiplying arithmetic intensity by ~k.
+
+Mechanics: requests enter a per-fingerprint pending group. A group is
+dispatched to the worker pool as one batch when it reaches
+``max_batch`` requests (immediately, in the submitting thread) or when
+its oldest request has waited ``flush_deadline_s`` (by the background
+flusher thread). Admission control is a bound on the total number of
+queued-but-undispatched requests; past it, :meth:`submit` raises
+:class:`~repro.errors.ServeAdmissionError` (HTTP 429 upstream).
+
+Single-request batches execute through the exact ``spmv`` kernel, so a
+solver issuing dependent matvecs through the service gets bit-for-bit
+the numbers the direct library path produces.
+
+Counters/histograms: ``serve.requests``, ``serve.batches``,
+``serve.kernel_invocations``, ``serve.batched_requests``,
+``serve.batch_size`` (histogram), ``serve.rejected``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ServeAdmissionError, ServeError
+from ..formats.multivector import spmm
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
+from .registry import RegistryEntry
+from .worker import WorkerPool
+
+
+@dataclass
+class _Request:
+    x: np.ndarray
+    future: Future
+
+
+@dataclass
+class _Group:
+    entry: RegistryEntry
+    t_first: float
+    requests: list[_Request] = field(default_factory=list)
+
+
+class BatchScheduler:
+    """Deadline/size-triggered coalescing scheduler over a worker pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        max_batch: int = 8,
+        flush_deadline_s: float = 0.002,
+        max_queue: int = 1024,
+    ):
+        if max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if flush_deadline_s < 0:
+            raise ServeError("flush_deadline_s must be >= 0")
+        if max_queue < 0:
+            raise ServeError("max_queue must be >= 0")
+        self.pool = pool
+        self.max_batch = max_batch
+        self.flush_deadline_s = flush_deadline_s
+        self.max_queue = max_queue
+        self._cv = threading.Condition()
+        self._groups: dict[str, _Group] = {}
+        self._n_queued = 0
+        self._n_inflight = 0      #: dispatched batches not yet finished
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="serve-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # ----------------------------------------------------------- submit
+    def submit(self, entry: RegistryEntry, x: np.ndarray) -> Future:
+        """Enqueue ``y = A·x`` for the registered matrix; returns a
+        Future resolving to the result vector."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (entry.ncols,):
+            raise ServeError(
+                f"x has shape {x.shape}, expected ({entry.ncols},) for "
+                f"matrix {entry.fingerprint}"
+            )
+        fut: Future = Future()
+        ready: _Group | None = None
+        with self._cv:
+            if self._closed:
+                raise ServeError("scheduler is closed")
+            if self._n_queued >= self.max_queue:
+                _metrics.inc("serve.rejected")
+                raise ServeAdmissionError(
+                    f"request queue full ({self.max_queue} pending)"
+                )
+            group = self._groups.get(entry.fingerprint)
+            if group is None:
+                group = _Group(entry, time.monotonic())
+                self._groups[entry.fingerprint] = group
+            group.requests.append(_Request(x, fut))
+            self._n_queued += 1
+            _metrics.inc("serve.requests")
+            if len(group.requests) >= self.max_batch:
+                ready = self._groups.pop(entry.fingerprint)
+                self._n_queued -= len(ready.requests)
+            else:
+                self._cv.notify_all()
+        if ready is not None:
+            self._dispatch(ready)
+        return fut
+
+    # ------------------------------------------------------- dispatching
+    def _dispatch(self, group: _Group) -> None:
+        with self._cv:
+            self._n_inflight += 1
+        self.pool.submit(lambda: self._execute(group))
+
+    def _execute(self, group: _Group) -> None:
+        entry, requests = group.entry, group.requests
+        k = len(requests)
+        try:
+            with _span("serve.batch", fingerprint=entry.fingerprint,
+                       batch_size=k):
+                if k == 1:
+                    ys = [entry.matrix.spmv(requests[0].x)]
+                else:
+                    x_block = np.stack([r.x for r in requests], axis=1)
+                    y_block = spmm(entry.matrix, x_block)
+                    ys = [np.ascontiguousarray(y_block[:, j])
+                          for j in range(k)]
+            _metrics.inc("serve.batches")
+            _metrics.inc("serve.kernel_invocations")
+            _metrics.inc("serve.batched_requests", k)
+            _metrics.observe("serve.batch_size", k)
+            for req, y in zip(requests, ys):
+                req.future.set_result(y)
+        except BaseException as exc:  # noqa: BLE001 - relayed per request
+            for req in requests:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+        finally:
+            with self._cv:
+                self._n_inflight -= 1
+                self._cv.notify_all()
+
+    def _flush_loop(self) -> None:
+        while True:
+            due: list[_Group] = []
+            with self._cv:
+                if self._closed and not self._groups:
+                    return
+                now = time.monotonic()
+                next_deadline: float | None = None
+                for fp in list(self._groups):
+                    group = self._groups[fp]
+                    deadline = group.t_first + self.flush_deadline_s
+                    if now >= deadline or self._closed:
+                        due.append(self._groups.pop(fp))
+                        self._n_queued -= len(due[-1].requests)
+                    elif next_deadline is None or deadline < next_deadline:
+                        next_deadline = deadline
+                if not due:
+                    timeout = None if next_deadline is None \
+                        else max(next_deadline - now, 0.0)
+                    self._cv.wait(timeout=timeout)
+                    continue
+            for group in due:
+                self._dispatch(group)
+
+    # ------------------------------------------------------------ drain
+    def flush(self) -> int:
+        """Dispatch every pending group immediately; returns the number
+        of groups flushed."""
+        with self._cv:
+            due = list(self._groups.values())
+            self._groups.clear()
+            for group in due:
+                self._n_queued -= len(group.requests)
+        for group in due:
+            self._dispatch(group)
+        return len(due)
+
+    @property
+    def queued(self) -> int:
+        with self._cv:
+            return self._n_queued
+
+    def drain(self, timeout: float | None = 10.0) -> None:
+        """Flush pending groups and wait until nothing is in flight."""
+        self.flush()
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._cv:
+            while self._groups or self._n_queued or self._n_inflight:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise ServeError("drain timed out")
+                self._cv.wait(timeout=remaining)
+
+    def close(self) -> None:
+        """Graceful shutdown: reject new work, drain what's queued."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self.drain()

@@ -9,7 +9,13 @@ into end-to-end apps.
 """
 
 from .cg import CGResult, conjugate_gradient
-from .pagerank import pagerank
+from .pagerank import pagerank, transition_matrix
 from .power_method import power_method
 
-__all__ = ["CGResult", "conjugate_gradient", "pagerank", "power_method"]
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "pagerank",
+    "power_method",
+    "transition_matrix",
+]

@@ -136,3 +136,49 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServeCLI:
+    def test_tune_gzipped_mtx(self, capsys, tmp_path):
+        coo = random_coo(60, 60, 0.1, seed=11)
+        path = tmp_path / "m.mtx.gz"
+        save_matrix_market(path, coo)
+        code, out = run(capsys, "tune", str(path), "--threads", "1")
+        assert code == 0
+        assert "simulated" in out
+
+    def test_plan_cache_inspect_empty(self, capsys, tmp_path):
+        code, out = run(capsys, "plan-cache", "inspect",
+                        "--dir", str(tmp_path / "none"))
+        assert code == 0
+        assert "no cached plans" in out
+
+    def test_plan_cache_inspect_and_clear(self, capsys, tmp_path):
+        from repro.machines import get_machine
+        from repro.serve import MatrixRegistry, PlanCache
+
+        cache_dir = tmp_path / "plans"
+        reg = MatrixRegistry(get_machine("AMD X2"), n_threads=1,
+                             plan_cache=PlanCache(cache_dir))
+        reg.register(random_coo(80, 80, 0.05, seed=12))
+
+        code, out = run(capsys, "plan-cache", "inspect",
+                        "--dir", str(cache_dir))
+        assert code == 0
+        assert "AMD X2" in out and "yes" in out
+
+        code, out = run(capsys, "plan-cache", "clear",
+                        "--dir", str(cache_dir))
+        assert code == 0
+        assert "removed 1" in out
+
+        code, out = run(capsys, "plan-cache", "inspect",
+                        "--dir", str(cache_dir))
+        assert "no cached plans" in out
+
+    def test_serve_in_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "serve" in out and "plan-cache" in out

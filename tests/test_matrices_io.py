@@ -120,6 +120,42 @@ class TestMatrixMarket:
             load_matrix_market(io.StringIO(text))
 
 
+class TestGzip:
+    def test_mtx_gz_roundtrip(self, tmp_path):
+        coo = random_coo(50, 40, 0.08, seed=9)
+        path = tmp_path / "m.mtx.gz"
+        save_matrix_market(path, coo)
+        # Written file is a real gzip stream, not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        back = load_matrix_market(path)
+        np.testing.assert_allclose(back.toarray(), coo.toarray(),
+                                   rtol=1e-12)
+
+    def test_load_externally_gzipped(self, tmp_path):
+        import gzip
+
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 3.0\n"
+            "2 2 4.0\n"
+        )
+        path = tmp_path / "ext.mtx.gz"
+        with gzip.open(path, "wt") as f:
+            f.write(text)
+        m = load_matrix_market(path)
+        assert m.toarray()[0, 0] == 3.0 and m.toarray()[1, 1] == 4.0
+
+    def test_gz_errors_still_typed(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "bad.mtx.gz"
+        with gzip.open(path, "wt") as f:
+            f.write("2 2 1\n1 1 1.0\n")
+        with pytest.raises(IOFormatError):
+            load_matrix_market(path)
+
+
 class TestBinary:
     def test_npz_roundtrip(self, tmp_path):
         coo = random_coo(100, 50, 0.05, seed=4)

@@ -365,3 +365,66 @@ class TestNativeInstrumentation:
         csr = coo_to_csr(coo)
         native_parallel_spmv(csr, np.ones(50))  # too small: serial
         assert get_registry().counter("native.serial_fallbacks") == 1
+
+
+class TestPrometheusRendering:
+    def test_counters_and_types(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.batches", 3)
+        reg.inc("heuristic.format_chosen", 2, fmt="bcsr")
+        text = reg.render_prometheus()
+        assert "# TYPE repro_serve_batches counter" in text
+        assert "repro_serve_batches 3" in text
+        assert 'repro_heuristic_format_chosen{fmt="bcsr"} 2' in text
+        assert text.endswith("\n")
+
+    def test_gauges(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.registry_bytes", 1234.0)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_serve_registry_bytes gauge" in text
+        assert "repro_serve_registry_bytes 1234" in text
+
+    def test_histogram_as_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("serve.batch_size", v)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_serve_batch_size summary" in text
+        assert "repro_serve_batch_size_count 3" in text
+        assert "repro_serve_batch_size_sum 6" in text
+        assert "repro_serve_batch_size_min 1" in text
+        assert "repro_serve_batch_size_max 3" in text
+
+    def test_name_sanitization(self):
+        reg = MetricsRegistry()
+        reg.inc("weird-name.with/slash")
+        text = reg.render_prometheus()
+        assert "repro_weird_name_with_slash 1" in text
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.http_requests", route='GET /metrics')
+        text = reg.render_prometheus()
+        assert 'route="GET /metrics"' in text
+
+    def test_custom_prefix_and_empty(self):
+        reg = MetricsRegistry()
+        assert reg.render_prometheus() == ""
+        reg.inc("x")
+        assert "spmv_x 1" in reg.render_prometheus(prefix="spmv_")
+
+    def test_one_type_line_per_labeled_family(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.worker_tasks", worker=0)
+        reg.inc("serve.worker_tasks", worker=1)
+        text = reg.render_prometheus()
+        assert text.count("# TYPE repro_serve_worker_tasks counter") == 1
+        assert 'repro_serve_worker_tasks{worker="0"} 1' in text
+        assert 'repro_serve_worker_tasks{worker="1"} 1' in text
+
+    def test_module_level_function(self):
+        from repro.observe import render_prometheus
+
+        get_registry().inc("serve.requests", 5)
+        assert "repro_serve_requests 5" in render_prometheus()

@@ -1,0 +1,158 @@
+"""Plan serialization and the on-disk tuned-plan cache."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationLevel, SpmvEngine
+from repro.core.plan import SpmvPlan
+from repro.errors import ServeError
+from repro.machines import get_machine
+from repro.matrices import generate
+from repro.observe.metrics import get_registry
+from repro.serve import MatrixRegistry, PlanCache, plans_equal
+from tests.conftest import random_coo
+
+L = OptimizationLevel
+
+
+@pytest.fixture
+def engine():
+    return SpmvEngine(get_machine("AMD X2"))
+
+
+class TestPlanRoundTrip:
+    @pytest.mark.parametrize(
+        "level", [L.NAIVE, L.PF, L.PF_RB, L.PF_RB_CB]
+    )
+    def test_lossless_at_every_level(self, engine, level):
+        coo = random_coo(300, 300, 0.03, seed=9, blocky=True)
+        plan = engine.plan(coo, level=level, n_threads=2)
+        back = SpmvPlan.from_dict(plan.to_dict())
+        assert plans_equal(plan, back)
+
+    def test_dict_is_json_serializable(self, engine):
+        coo = generate("FEM-Har", scale=0.03, seed=0)
+        plan = engine.plan(coo, n_threads=4)
+        text = json.dumps(plan.to_dict())
+        assert plans_equal(plan, SpmvPlan.from_dict(json.loads(text)))
+
+    def test_restored_plan_materializes_identically(self, engine, rng):
+        coo = random_coo(200, 160, 0.05, seed=3)
+        plan = engine.plan(coo, n_threads=2)
+        back = SpmvPlan.from_dict(plan.to_dict())
+        x = rng.standard_normal(coo.ncols)
+        np.testing.assert_array_equal(
+            plan.materialize(coo).spmv(x), back.materialize(coo).spmv(x)
+        )
+
+    def test_plans_equal_detects_difference(self, engine):
+        coo = random_coo(100, 100, 0.05, seed=1)
+        a = engine.plan(coo, n_threads=1)
+        b = engine.plan(coo, n_threads=2)
+        assert not plans_equal(a, b)
+        assert plans_equal(a, engine.plan(coo, n_threads=1))
+
+
+class TestPlanCacheStore:
+    def test_store_then_load(self, engine, tmp_path):
+        coo = random_coo(150, 150, 0.04, seed=2)
+        plan = engine.plan(coo, n_threads=2)
+        cache = PlanCache(tmp_path)
+        fp = coo.content_fingerprint()
+        path = cache.store(fp, plan)
+        assert path.exists()
+        loaded = cache.load(plan.machine.name, fp)
+        assert loaded is not None
+        assert plans_equal(plan, loaded)
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        reg = get_registry()
+        before = reg.counter("serve.plan_cache_miss")
+        assert PlanCache(tmp_path).load("AMD X2", "0" * 16) is None
+        assert reg.counter("serve.plan_cache_miss") == before + 1
+
+    def test_version_tamper_is_stale(self, engine, tmp_path):
+        coo = random_coo(80, 80, 0.05, seed=5)
+        plan = engine.plan(coo, n_threads=1)
+        cache = PlanCache(tmp_path)
+        fp = coo.content_fingerprint()
+        path = cache.store(fp, plan)
+        envelope = json.loads(path.read_text())
+        envelope["model_version"] = "0.0.0-ancient"
+        path.write_text(json.dumps(envelope))
+        reg = get_registry()
+        before = reg.counter("serve.plan_cache_stale")
+        assert cache.load(plan.machine.name, fp) is None
+        assert reg.counter("serve.plan_cache_stale") == before + 1
+
+    def test_corrupt_file_is_stale_not_fatal(self, engine, tmp_path):
+        coo = random_coo(60, 60, 0.05, seed=6)
+        plan = engine.plan(coo, n_threads=1)
+        cache = PlanCache(tmp_path)
+        fp = coo.content_fingerprint()
+        path = cache.store(fp, plan)
+        path.write_text("{not json")
+        assert cache.load(plan.machine.name, fp) is None
+
+    def test_bad_fingerprint_rejected(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        for bad in ["", "../../etc/passwd", "a/b", "x.json"]:
+            with pytest.raises(ServeError):
+                cache.path_for("AMD X2", bad)
+
+    def test_entries_and_clear(self, engine, tmp_path):
+        coo = random_coo(90, 90, 0.05, seed=7)
+        cache = PlanCache(tmp_path)
+        cache.store(
+            coo.content_fingerprint(), engine.plan(coo, n_threads=2)
+        )
+        rows = cache.entries()
+        assert len(rows) == 1
+        assert rows[0]["machine"] == "AMD X2"
+        assert rows[0]["fresh"] is True
+        assert rows[0]["n_threads"] == 2
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+
+class TestRegistryCacheIntegration:
+    def test_second_registry_hits_disk_cache(self, tmp_path, rng):
+        """Acceptance: a second serve/tune of the same matrix on the
+        same machine is a plan-cache hit, and the restored plan behaves
+        identically."""
+        coo = generate("FEM-Har", scale=0.03, seed=0)
+        machine = get_machine("AMD X2")
+        reg = get_registry()
+
+        r1 = MatrixRegistry(machine, plan_cache=PlanCache(tmp_path))
+        e1 = r1.register(coo)
+        assert e1.from_plan_cache is False
+
+        hits_before = reg.counter("serve.plan_cache_hit")
+        r2 = MatrixRegistry(machine, plan_cache=PlanCache(tmp_path))
+        e2 = r2.register(coo)
+        assert e2.from_plan_cache is True
+        assert reg.counter("serve.plan_cache_hit") == hits_before + 1
+        assert plans_equal(e1.plan, e2.plan)
+        x = rng.standard_normal(coo.ncols)
+        np.testing.assert_array_equal(e1.matrix.spmv(x),
+                                      e2.matrix.spmv(x))
+
+    def test_thread_mismatch_replans(self, tmp_path):
+        coo = random_coo(200, 200, 0.04, seed=8)
+        machine = get_machine("AMD X2")
+        cache = PlanCache(tmp_path)
+        MatrixRegistry(machine, n_threads=1,
+                       plan_cache=cache).register(coo)
+        reg = get_registry()
+        before = reg.counter("serve.plan_cache_thread_mismatch")
+        e = MatrixRegistry(machine, n_threads=2,
+                           plan_cache=cache).register(coo)
+        assert e.from_plan_cache is False
+        assert e.plan.n_threads == 2
+        assert reg.counter("serve.plan_cache_thread_mismatch") \
+            == before + 1
