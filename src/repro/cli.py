@@ -12,6 +12,8 @@ info FILE           Structure report for a MatrixMarket/.npz file.
 validate            Analytic-vs-exact cache traffic validation sweep.
 serve               Long-running batched SpMV HTTP service.
 plan-cache          Inspect or clear the on-disk tuned-plan cache.
+dist-bench          Shards × matrix sweep over the sharded-execution
+                    tier (per-shard imbalance, effective GFLOP/s).
 
 Every command accepts ``--trace FILE`` (JSONL spans, load with
 :func:`repro.observe.read_trace`) and ``--trace-chrome FILE`` (Chrome
@@ -274,6 +276,8 @@ def _cmd_serve(args) -> int:
         flush_deadline_s=args.flush_deadline_ms / 1e3,
         max_queue=args.max_queue,
         n_workers=args.workers,
+        shards=args.shards,
+        shard_threshold_bytes=int(args.shard_threshold_mb * 1e6),
     )
     httpd = ServeHTTPServer((args.host, args.port), client)
     print(
@@ -289,6 +293,63 @@ def _cmd_serve(args) -> int:
     finally:
         httpd.server_close()
         client.close()
+    return 0
+
+
+def _cmd_dist_bench(args) -> int:
+    """Shards × matrix sweep over the sharded-execution tier.
+
+    For each (matrix, shard count) pair: build a shard group, register
+    (one-time slab ship), then time repeated SpMV dispatches. Reported
+    imbalance is the nnz max/mean of the static partition — the
+    quantity the paper's balanced decomposition minimizes; effective
+    GFLOP/s uses the paper's ``2·nnz`` flops per multiply.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from .dist import ShardGroup
+    from .parallel import partition_cols_balanced, partition_rows_balanced
+
+    try:
+        shard_counts = [int(s) for s in args.shards.split(",")]
+    except ValueError:
+        print(f"bad --shards list {args.shards!r} "
+              f"(expected e.g. 1,2,4)", file=sys.stderr)
+        return 2
+    names = args.matrices or ["FEM-Har", "Epidem", "Circuit"]
+    part_fn = (partition_rows_balanced if args.path == "row"
+               else partition_cols_balanced)
+    rows = []
+    for name in names:
+        coo = generate(name, scale=args.scale, seed=args.seed)
+        rng = np.random.default_rng(args.seed)
+        x = rng.standard_normal(coo.ncols)
+        for n in shard_counts:
+            dim = coo.nrows if args.path == "row" else coo.ncols
+            n_eff = max(1, min(n, dim))
+            imbalance = (part_fn(coo, n_eff).imbalance
+                         if n_eff > 1 else 1.0)
+            with ShardGroup(n, partition=args.path) as g:
+                fp = g.register(coo)
+                g.spmv(fp, x)     # warm: fault paths, page faults
+                t0 = _time.perf_counter()
+                for _ in range(args.iters):
+                    g.spmv(fp, x)
+                per_call = (_time.perf_counter() - t0) / args.iters
+                mode = "serial" if g.serial else args.path
+            gflops = 2.0 * coo.nnz_logical / per_call / 1e9
+            rows.append([
+                name, n, mode, f"{imbalance:.3f}",
+                f"{per_call * 1e3:.3f}", f"{gflops:.3f}",
+            ])
+    print(format_table(
+        ["matrix", "shards", "mode", "imbalance", "ms/SpMV", "GFLOP/s"],
+        rows,
+        title=f"sharded SpMV sweep (scale {args.scale}, "
+              f"{args.iters} iters, {args.path} partition)",
+    ))
     return 0
 
 
@@ -402,6 +463,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="admission bound (full queue answers 429)")
     sp.add_argument("--workers", type=int, default=None,
                     help="worker threads (default: machine cores)")
+    sp.add_argument("--shards", type=int, default=None,
+                    help="back large matrices with N persistent "
+                         "shard worker processes")
+    sp.add_argument("--shard-threshold-mb", type=float, default=4.0,
+                    help="matrix footprint (MB) above which a "
+                         "registered matrix is sharded")
+
+    sp = sub.add_parser(
+        "dist-bench",
+        help="shards × matrix sweep over the sharded tier",
+        parents=[common],
+    )
+    sp.add_argument("matrices", nargs="*",
+                    help="suite names (default: FEM-Har Epidem Circuit)")
+    sp.add_argument("--shards", default="1,2,4",
+                    help="comma-separated shard counts to sweep")
+    sp.add_argument("--scale", type=float, default=0.1)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--iters", type=int, default=20,
+                    help="timed SpMV dispatches per configuration")
+    sp.add_argument("--path", choices=["row", "col"], default="row",
+                    help="decomposition: row slabs or column "
+                         "slabs + reduction")
 
     sp = sub.add_parser("plan-cache",
                         help="inspect or clear the tuned-plan store",
@@ -424,6 +508,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "serve": _cmd_serve,
     "plan-cache": _cmd_plan_cache,
+    "dist-bench": _cmd_dist_bench,
 }
 
 

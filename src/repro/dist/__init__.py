@@ -1,0 +1,34 @@
+"""Persistent sharded-execution tier (distribute once, compute forever).
+
+The process-level analogue of the paper's NUMA-aware pinned-slab
+design: a :class:`ShardGroup` forks N long-lived workers, ships each
+registered matrix's nnz-balanced slabs into shared memory exactly once,
+and serves every subsequent SpMV/SpMM with tiny control messages — the
+opposite of the per-call fork-and-repartition anti-pattern the paper's
+OSKI-PETSc baseline demonstrates.
+
+* :mod:`.shm` — shared-memory matrix/vector codec (segment arena with
+  strict parent-owned unlink discipline, zero-copy CSR attach).
+* :mod:`.shard` — the worker loop: hold slabs, compute, heartbeat.
+* :mod:`.group` — lifecycle, registration, dispatch, gather; row path
+  (bit-identical to serial) and column-reduction path.
+* :mod:`.fault` — heartbeat monitor, dead-shard detection, respawn +
+  slab re-ship, bounded retry with backoff.
+"""
+
+from ..errors import DistError, ShardDeadError
+from .fault import HeartbeatMonitor, RetryPolicy
+from .group import ShardGroup, ShardOperator
+from .shm import SEGMENT_PREFIX, SegmentArena, SegmentSpec
+
+__all__ = [
+    "DistError",
+    "HeartbeatMonitor",
+    "RetryPolicy",
+    "SEGMENT_PREFIX",
+    "SegmentArena",
+    "SegmentSpec",
+    "ShardDeadError",
+    "ShardGroup",
+    "ShardOperator",
+]

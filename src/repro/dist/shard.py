@@ -1,0 +1,141 @@
+"""Shard worker process: hold slabs, compute, heartbeat.
+
+Each shard is a long-lived process the :class:`~repro.dist.group.
+ShardGroup` forks once. Its loop is a tiny command interpreter over a
+pipe — ``register`` (attach a slab's shared segments), ``compute``
+(SpMV/SpMM over the resident slab into the shared destination buffer),
+``unregister``, ``exit``. The slab itself never travels over the pipe:
+after registration a compute request is a ~100-byte tuple, the
+process-level analogue of the paper's "pin the slab to the core that
+first touched it" discipline.
+
+Protocol (parent → shard / shard → parent)::
+
+    ("register", mid, payload)        -> ("ok", "register", mid, id)
+    ("compute", mid, k, seq)          -> ("done", mid, seq, seconds)
+                                       | ("err", mid, seq, message)
+    ("unregister", mid)               -> ("ok", "unregister", mid, id)
+    ("exit",)                         -> (no reply; process exits 0)
+
+``seq`` tags each dispatch round so the parent can discard stale
+replies after a respawn-and-retry cycle.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import numpy as np
+
+from ..formats.multivector import spmm
+from .shm import SegmentSpec, attach_array, attach_csr
+
+
+class _ResidentMatrix:
+    """One registered matrix as seen from inside a shard."""
+
+    def __init__(self, payload: dict):
+        self.path = payload["path"]              # "row" | "col"
+        self.lo = payload["lo"]                  # r0 (row) / c0 (col)
+        self.hi = payload["hi"]                  # r1 (row) / c1 (col)
+        self.slab, self._slab_handles = attach_csr(payload["slab"])
+        self.x, self._hx = attach_array(payload["x"])    # (ncols, k_cap)
+        self.y, self._hy = attach_array(payload["y"])
+        # row: y is the group-shared (nrows, k_cap) buffer, this shard
+        #      owns rows [lo, hi); col: y is this shard's private
+        #      (nrows, k_cap) partial buffer.
+
+    def compute(self, k: int) -> None:
+        if self.path == "row":
+            x = self.x[:, :k]
+            y = self.y[self.lo:self.hi, :k]
+        else:
+            x = self.x[self.lo:self.hi, :k]
+            y = self.y[:, :k]
+        y[...] = 0.0
+        # spmm's k==1 path is the exact single-vector spmv kernel, so
+        # row-path results concatenate bit-identically to serial spmv.
+        spmm(self.slab, x, y)
+
+    def close(self) -> None:
+        for h in (*self._slab_handles, self._hx, self._hy):
+            try:
+                h.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+def _beat(spec: SegmentSpec, shard_id: int, interval_s: float,
+          stop: threading.Event) -> None:
+    """Daemon thread: stamp liveness even while the main loop computes."""
+    hb, handle = attach_array(spec)
+    try:
+        while not stop.is_set():
+            hb[shard_id] = time.monotonic()
+            stop.wait(interval_s)
+    finally:
+        handle.close()
+
+
+def shard_main(shard_id: int, conn, hb_spec: SegmentSpec,
+               hb_interval_s: float) -> None:
+    """Entry point of a shard worker process."""
+    # Shards share the terminal's foreground process group, so a Ctrl-C
+    # aimed at the parent would interrupt conn.recv() with a traceback.
+    # Shutdown is always parent-coordinated (an "exit" message, or
+    # terminate() from the cleanup path) — ignore SIGINT here.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    stop = threading.Event()
+    threading.Thread(
+        target=_beat, args=(hb_spec, shard_id, hb_interval_s, stop),
+        name=f"shard-{shard_id}-heartbeat", daemon=True,
+    ).start()
+    resident: dict[str, _ResidentMatrix] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # parent is gone; exit quietly
+            op = msg[0]
+            if op == "exit":
+                break
+            if op == "register":
+                _, mid, payload = msg
+                old = resident.pop(mid, None)
+                if old is not None:
+                    old.close()
+                resident[mid] = _ResidentMatrix(payload)
+                conn.send(("ok", "register", mid, shard_id))
+            elif op == "unregister":
+                _, mid = msg
+                old = resident.pop(mid, None)
+                if old is not None:
+                    old.close()
+                conn.send(("ok", "unregister", mid, shard_id))
+            elif op == "compute":
+                _, mid, k, seq = msg
+                t0 = time.perf_counter()
+                try:
+                    resident[mid].compute(int(k))
+                except Exception as exc:
+                    conn.send(("err", mid, seq, f"{type(exc).__name__}: "
+                                                f"{exc}"))
+                else:
+                    conn.send(("done", mid, seq,
+                               time.perf_counter() - t0))
+            else:
+                conn.send(("err", None, None, f"unknown op {op!r}"))
+    finally:
+        stop.set()
+        for m in resident.values():
+            m.close()
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass

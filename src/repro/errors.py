@@ -66,3 +66,14 @@ class ServeError(ReproError):
 class ServeAdmissionError(ServeError):
     """A request was rejected by admission control: the scheduler's
     bounded queue is full. HTTP callers see this as a 429."""
+
+
+class DistError(ReproError):
+    """The sharded execution tier failed (misuse, exhausted retries,
+    or an unrecoverable shard crash)."""
+
+
+class ShardDeadError(DistError):
+    """A shard worker process died (or hung past its compute deadline)
+    while holding work. Recoverable: the group respawns the shard,
+    re-ships its slabs, and retries the dispatch."""

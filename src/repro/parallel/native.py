@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 
 import numpy as np
@@ -24,7 +25,11 @@ from ..observe.trace import span as _span
 from .partition import RowPartition, partition_rows_balanced
 
 # Worker state installed before fork (copy-on-write shared pages).
+# Module-global, so concurrent callers (e.g. serve worker threads)
+# would otherwise race: one call's fork could snapshot another call's
+# matrix/vector. _WORK_LOCK serializes install → fork → compute.
 _WORK: dict = {}
+_WORK_LOCK = threading.Lock()
 
 
 def _worker(part_id: int) -> tuple[int, np.ndarray, float]:
@@ -86,17 +91,18 @@ def native_parallel_spmv(
             f"partition has {partition.n_parts} parts, expected {n_workers}"
         )
     ranges = partition.ranges()
-    _WORK["csr"] = csr
-    _WORK["x"] = x
-    _WORK["ranges"] = ranges
     with _span("native.spmv", workers=n_workers,
                nnz=csr.nnz_stored) as s:
-        try:
-            ctx = mp.get_context("fork")
-            with ctx.Pool(processes=n_workers) as pool:
-                results = pool.map(_worker, range(n_workers))
-        finally:
-            _WORK.clear()
+        with _WORK_LOCK:
+            _WORK["csr"] = csr
+            _WORK["x"] = x
+            _WORK["ranges"] = ranges
+            try:
+                ctx = mp.get_context("fork")
+                with ctx.Pool(processes=n_workers) as pool:
+                    results = pool.map(_worker, range(n_workers))
+            finally:
+                _WORK.clear()
         y = np.empty(csr.nrows, dtype=np.float64)
         worker_secs = np.empty(n_workers, dtype=np.float64)
         for part_id, slab_y, elapsed in results:

@@ -17,6 +17,11 @@ thousands of multiplies:
   ``/v1/matrices``, ``/healthz``, Prometheus ``/metrics``).
 * :mod:`.client` — the in-process client; its :class:`MatrixOperator`
   satisfies the solver ``LinearOperator`` protocol.
+
+With ``ServeClient(shards=N)`` the registry backs large matrices with
+the persistent sharded-execution tier (:mod:`repro.dist`): slabs pin
+in shared memory once and batches execute on fault-tolerant worker
+processes instead of in-process threads.
 """
 
 from .client import MatrixOperator, ServeClient

@@ -92,6 +92,9 @@ class ServeClient:
         flush_deadline_s: float = 0.002,
         max_queue: int = 1024,
         n_workers: int | None = None,
+        shards: int | None = None,
+        shard_threshold_bytes: int = 4 << 20,
+        shard_partition: str = "row",
     ):
         if isinstance(machine, str):
             machine = get_machine(machine)
@@ -100,9 +103,22 @@ class ServeClient:
             PlanCache(os.path.expanduser(os.fspath(plan_cache_dir)))
             if plan_cache_dir is not None else None
         )
+        # With `shards`, matrices whose materialized footprint reaches
+        # `shard_threshold_bytes` are backed by a persistent shard
+        # group (slabs pinned in shared memory, fault-tolerant
+        # workers); smaller matrices stay on the in-process path where
+        # dispatch overhead would dominate.
+        self.shard_group = None
+        if shards is not None and shards > 0:
+            from ..dist import ShardGroup
+            self.shard_group = ShardGroup(
+                shards, partition=shard_partition, k_cap=max_batch,
+            )
         self.registry = MatrixRegistry(
             machine, n_threads=n_threads,
             capacity_bytes=capacity_bytes, plan_cache=plan_cache,
+            shard_group=self.shard_group,
+            shard_threshold_bytes=shard_threshold_bytes,
         )
         # Pool sized to the machine model being served: SpMV batches
         # saturate its modeled core count, more threads just queue.
@@ -146,6 +162,8 @@ class ServeClient:
             queued=self.scheduler.queued,
             workers=self.pool.n_workers,
             max_batch=self.scheduler.max_batch,
+            shards=(self.shard_group.describe()
+                    if self.shard_group is not None else None),
         )
         return d
 
@@ -160,6 +178,8 @@ class ServeClient:
         self._closed = True
         self.scheduler.close()
         self.pool.shutdown(drain=True)
+        if self.shard_group is not None:
+            self.shard_group.close()
 
     def __enter__(self) -> "ServeClient":
         return self

@@ -12,6 +12,14 @@ materialized matrices, and registration evicts least-recently-used
 entries until the new matrix fits. Eviction drops only the in-memory
 materialization — the tuned plan stays on disk, so a re-registration
 of an evicted matrix is a plan-cache hit plus one materialization.
+
+Sharded backing: when the registry is built with a
+:class:`~repro.dist.group.ShardGroup`, matrices whose materialized
+footprint reaches ``shard_threshold_bytes`` are additionally registered
+with the group — their slabs ship into shared memory once, and the
+scheduler executes their batches on the persistent shard workers
+instead of in-process. Eviction unregisters the matrix from the group,
+freeing its segments.
 """
 
 from __future__ import annotations
@@ -43,6 +51,9 @@ class RegistryEntry:
     footprint_bytes: int
     from_plan_cache: bool     #: tuning came from the disk cache
     hits: int = field(default=0)
+    sharded: bool = field(default=False)
+    #: The backing :class:`~repro.dist.group.ShardGroup` when sharded.
+    shard_group: object | None = field(default=None, repr=False)
 
     @property
     def nrows(self) -> int:
@@ -61,6 +72,7 @@ class RegistryEntry:
             "n_threads": self.plan.n_threads,
             "plan_cache_hit": self.from_plan_cache,
             "hits": self.hits,
+            "sharded": self.sharded,
         }
 
 
@@ -74,6 +86,8 @@ class MatrixRegistry:
         n_threads: int | None = None,
         capacity_bytes: int | None = None,
         plan_cache: PlanCache | None = None,
+        shard_group=None,
+        shard_threshold_bytes: int = 0,
     ):
         self.machine = machine
         self.engine = SpmvEngine(machine)
@@ -83,6 +97,8 @@ class MatrixRegistry:
             raise ServeError("registry needs >= 1 thread")
         self.capacity_bytes = capacity_bytes
         self.plan_cache = plan_cache
+        self.shard_group = shard_group
+        self.shard_threshold_bytes = shard_threshold_bytes
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
         self._total_bytes = 0
@@ -162,6 +178,19 @@ class MatrixRegistry:
             )
             s.set(plan_cache_hit=from_cache,
                   footprint_bytes=entry.footprint_bytes)
+            if (self.shard_group is not None
+                    and entry.footprint_bytes
+                    >= self.shard_threshold_bytes):
+                # Back the matrix with the persistent shard workers:
+                # slabs ship into shared memory once, here; the
+                # scheduler routes its batches to the group. The shard
+                # tier executes plain CSR regardless of the tuned
+                # in-process format.
+                self.shard_group.register(coo, fingerprint=fingerprint)
+                entry.sharded = True
+                entry.shard_group = self.shard_group
+                _metrics.inc("serve.matrices_sharded")
+                s.set(sharded=True)
         with self._lock:
             self._admit(entry)
         _metrics.inc("serve.matrices_registered")
@@ -176,6 +205,8 @@ class MatrixRegistry:
                    > self.capacity_bytes):
                 _, victim = self._entries.popitem(last=False)
                 self._total_bytes -= victim.footprint_bytes
+                if victim.sharded and victim.shard_group is not None:
+                    victim.shard_group.unregister(victim.fingerprint)
                 _metrics.inc("serve.registry_evictions")
         self._entries[entry.fingerprint] = entry
         self._total_bytes += entry.footprint_bytes

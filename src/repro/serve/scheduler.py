@@ -130,10 +130,26 @@ class BatchScheduler:
     def _execute(self, group: _Group) -> None:
         entry, requests = group.entry, group.requests
         k = len(requests)
+        sharded = entry.sharded and entry.shard_group is not None
         try:
             with _span("serve.batch", fingerprint=entry.fingerprint,
-                       batch_size=k):
-                if k == 1:
+                       batch_size=k, sharded=sharded):
+                if sharded:
+                    # Shard-backed matrix: the batch executes on the
+                    # persistent workers (slabs already resident in
+                    # shared memory; only x/y vectors move).
+                    dist = entry.shard_group
+                    if k == 1:
+                        ys = [dist.spmv(entry.fingerprint,
+                                        requests[0].x)]
+                    else:
+                        x_block = np.stack([r.x for r in requests],
+                                           axis=1)
+                        y_block = dist.spmm(entry.fingerprint, x_block)
+                        ys = [np.ascontiguousarray(y_block[:, j])
+                              for j in range(k)]
+                    _metrics.inc("serve.sharded_batches")
+                elif k == 1:
                     ys = [entry.matrix.spmv(requests[0].x)]
                 else:
                     x_block = np.stack([r.x for r in requests], axis=1)

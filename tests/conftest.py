@@ -2,10 +2,24 @@
 
 from __future__ import annotations
 
+import glob
+
 import numpy as np
 import pytest
 
 from repro.formats import COOMatrix
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_shm_leaks():
+    """The dist tier owns POSIX shared-memory segments named after this
+    process; every one must be unlinked by the time the suite ends."""
+    from repro.dist.shm import SEGMENT_PREFIX
+
+    pattern = f"/dev/shm/{SEGMENT_PREFIX}-*"
+    yield
+    leaked = glob.glob(pattern)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 def random_coo(

@@ -182,3 +182,24 @@ class TestServeCLI:
         assert exc.value.code == 0
         out = capsys.readouterr().out
         assert "serve" in out and "plan-cache" in out
+        assert "dist-bench" in out
+
+
+class TestDistBenchCLI:
+    def test_dist_bench_row(self, capsys):
+        code, out = run(capsys, "dist-bench", "Circuit",
+                        "--shards", "1,2", "--scale", "0.03",
+                        "--iters", "2")
+        assert code == 0
+        assert "Circuit" in out
+        # One row per shard count; shards=1 runs the serial path.
+        assert "serial" in out
+        assert "row" in out
+        assert "GFLOP/s" in out
+
+    def test_dist_bench_col_path(self, capsys):
+        code, out = run(capsys, "dist-bench", "Circuit",
+                        "--shards", "2", "--scale", "0.03",
+                        "--iters", "2", "--path", "col")
+        assert code == 0
+        assert "col" in out

@@ -1,0 +1,119 @@
+"""Fault tolerance: SIGKILLed shards respawn, re-attach, and the
+dispatch retries to the correct answer."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist import RetryPolicy, ShardGroup
+from repro.formats import coo_to_csr
+from repro.observe.metrics import get_registry
+from repro.solvers import conjugate_gradient
+from tests.conftest import random_coo
+from tests.test_dist_group import _spd_coo
+
+
+@pytest.fixture
+def group():
+    g = ShardGroup(
+        3,
+        heartbeat_interval_s=0.05,
+        compute_timeout_s=10.0,
+        retry=RetryPolicy(max_retries=3, backoff_s=0.01),
+    )
+    yield g
+    g.close()
+
+
+def _kill_one(group: ShardGroup) -> int:
+    pid = group.shard_pids()[1]
+    os.kill(pid, signal.SIGKILL)
+    # Wait for the OS to reap it so alive() flips.
+    deadline = time.monotonic() + 5.0
+    while pid in group.shard_pids() and \
+            group._shards[1].alive() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return pid
+
+
+class TestShardDeath:
+    def test_spmv_survives_sigkill(self, group):
+        reg = get_registry()
+        coo = random_coo(200, 200, 0.05, seed=30)
+        csr = coo_to_csr(coo)
+        fp = group.register(coo)
+        x = np.random.default_rng(31).standard_normal(200)
+        expected = csr.spmv(x)
+        assert np.array_equal(group.spmv(fp, x), expected)
+
+        respawns_before = reg.counter("dist.respawns")
+        killed = _kill_one(group)
+        # The next dispatch hits the dead shard, revives it (re-attach,
+        # not re-copy), retries, and still returns the exact answer.
+        copies_before = reg.counter("dist.slab_copies")
+        assert np.array_equal(group.spmv(fp, x), expected)
+        assert reg.counter("dist.respawns") >= respawns_before + 1
+        assert reg.counter("dist.reships") >= 1
+        assert reg.counter("dist.slab_copies") == copies_before
+        assert killed not in group.shard_pids()
+        assert group.describe()["alive"] == 3
+
+    def test_repeated_kills_within_retry_budget(self, group):
+        coo = random_coo(150, 150, 0.06, seed=32)
+        csr = coo_to_csr(coo)
+        fp = group.register(coo)
+        x = np.ones(150)
+        expected = csr.spmv(x)
+        for _ in range(2):
+            _kill_one(group)
+            assert np.array_equal(group.spmv(fp, x), expected)
+
+    def test_cg_with_mid_solve_kill(self, group):
+        # Kill a shard part-way through a CG solve; the solver must
+        # converge to the same trajectory as the serial solve because
+        # recovery reproduces each matvec bit-for-bit.
+        coo = _spd_coo(150, seed=33)
+        csr = coo_to_csr(coo)
+        fp = group.register(coo)
+        op = group.operator(fp)
+        rng = np.random.default_rng(34)
+        x_true = rng.standard_normal(150)
+        b = csr.spmv(x_true)
+
+        calls = {"n": 0}
+        real_spmv = op.spmv
+
+        def chaotic_spmv(x, y=None):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                _kill_one(group)
+            return real_spmv(x, y)
+
+        op.spmv = chaotic_spmv
+        result = conjugate_gradient(op, b, tol=1e-12)
+        assert result.converged
+        serial = conjugate_gradient(csr, b, tol=1e-12)
+        np.testing.assert_array_equal(result.x, serial.x)
+        assert calls["n"] >= 3
+        assert get_registry().counter("dist.respawns") >= 1
+
+    def test_monitor_revives_idle_group(self, group):
+        # No dispatch in flight: the heartbeat monitor alone must
+        # notice the death and respawn the worker.
+        coo = random_coo(100, 100, 0.05, seed=35)
+        fp = group.register(coo)
+        _kill_one(group)
+        deadline = time.monotonic() + 5.0
+        while group.describe()["alive"] < 3 and \
+                time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert group.describe()["alive"] == 3
+        # And the revived shard serves the matrix it re-attached.
+        x = np.ones(100)
+        assert np.array_equal(group.spmv(fp, x),
+                              coo_to_csr(coo).spmv(x))

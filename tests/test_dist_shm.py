@@ -1,0 +1,116 @@
+"""Shared-memory codec: segment roundtrip, attach, unlink discipline."""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.dist.shm import (
+    SEGMENT_PREFIX,
+    SegmentArena,
+    attach_array,
+    attach_csr,
+)
+from repro.formats import coo_to_csr
+from tests.conftest import random_coo
+
+
+def _shm_listing() -> list[str]:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*")
+
+
+class TestSegmentArena:
+    def test_create_roundtrip(self):
+        arena = SegmentArena()
+        try:
+            view, spec = arena.create((7, 3), np.float64)
+            assert view.shape == (7, 3)
+            assert (view == 0.0).all()
+            view[:] = np.arange(21.0).reshape(7, 3)
+            attached, seg = attach_array(spec)
+            try:
+                np.testing.assert_array_equal(
+                    attached, np.arange(21.0).reshape(7, 3)
+                )
+                # Same pages, not a copy: writes are visible both ways.
+                attached[0, 0] = -5.0
+                assert view[0, 0] == -5.0
+            finally:
+                seg.close()
+        finally:
+            arena.unlink_all()
+
+    def test_ship_copies_once(self):
+        arena = SegmentArena()
+        try:
+            src = np.linspace(0.0, 1.0, 16)
+            spec = arena.ship(src)
+            src[:] = 99.0     # mutating the source must not leak through
+            attached, seg = attach_array(spec)
+            try:
+                np.testing.assert_array_equal(
+                    attached, np.linspace(0.0, 1.0, 16)
+                )
+            finally:
+                seg.close()
+        finally:
+            arena.unlink_all()
+
+    def test_csr_slab_roundtrip(self):
+        coo = random_coo(40, 30, 0.1, seed=11)
+        csr = coo_to_csr(coo)
+        arena = SegmentArena()
+        try:
+            spec = arena.ship_csr(csr)
+            attached, segs = attach_csr(spec)
+            try:
+                x = np.random.default_rng(0).standard_normal(30)
+                np.testing.assert_array_equal(
+                    attached.spmv(x), csr.spmv(x)
+                )
+                assert attached.index_width == csr.index_width
+            finally:
+                for seg in segs:
+                    seg.close()
+        finally:
+            arena.unlink_all()
+
+    def test_zero_size_segment(self):
+        arena = SegmentArena()
+        try:
+            view, spec = arena.create((0,), np.float64)
+            assert view.shape == (0,)
+            attached, seg = attach_array(spec)
+            try:
+                assert attached.shape == (0,)
+            finally:
+                seg.close()
+        finally:
+            arena.unlink_all()
+
+    def test_unlink_all_removes_segments_and_is_idempotent(self):
+        arena = SegmentArena()
+        before = set(_shm_listing())
+        arena.create((64,), np.float64)
+        arena.ship(np.ones(8))
+        created = set(_shm_listing()) - before
+        assert len(created) == 2
+        assert arena.total_bytes > 0
+        arena.unlink_all()
+        assert set(_shm_listing()) & created == set()
+        assert arena.total_bytes == 0
+        arena.unlink_all()   # second call must be a no-op, not an error
+
+    def test_accounting_gauge(self):
+        from repro.observe.metrics import get_registry
+        reg = get_registry()
+        arena = SegmentArena()
+        try:
+            base = reg.gauge_value("dist.shm_bytes")
+            arena.create((128,), np.float64)
+            assert reg.gauge_value("dist.shm_bytes") >= base + 128 * 8
+        finally:
+            arena.unlink_all()
+        assert reg.gauge_value("dist.shm_bytes") == pytest.approx(base)

@@ -68,6 +68,53 @@ class TestRowPartition:
         with pytest.raises(PartitionError):
             partition_rows_equal(coo, 0)
 
+    def test_empty_matrix(self):
+        coo = COOMatrix((0, 5), np.zeros(0, dtype=np.int64),
+                        np.zeros(0, dtype=np.int64), np.zeros(0))
+        p = partition_rows_balanced(coo, 1)
+        assert p.n_parts == 1
+        assert p.ranges() == [(0, 0)]
+        assert p.nnz_per_part.sum() == 0
+        assert p.imbalance == 1.0
+
+    def test_zero_nnz_matrix(self):
+        coo = COOMatrix((12, 12), np.zeros(0, dtype=np.int64),
+                        np.zeros(0, dtype=np.int64), np.zeros(0))
+        p = partition_rows_balanced(coo, 3)
+        assert p.bounds[0] == 0 and p.bounds[-1] == 12
+        assert (np.diff(p.bounds) >= 0).all()
+        assert p.imbalance == 1.0
+
+    def test_single_dense_row_bounds_balance(self):
+        # One row holds every nonzero; a row is never split, so one
+        # part gets all the load and imbalance == n_parts exactly.
+        n = 4
+        coo = COOMatrix((8, 100), [3] * 100, list(range(100)),
+                        np.ones(100))
+        p = partition_rows_balanced(coo, n)
+        assert p.nnz_per_part.max() == 100
+        assert p.imbalance == pytest.approx(float(n))
+
+    def test_empty_leading_rows_monotonic_bounds(self):
+        # All nonzeros at the bottom: naive cumulative cuts would
+        # repeat 0; the monotonicity guard must keep bounds sorted and
+        # covering [0, m].
+        coo = COOMatrix((10, 10), [8, 8, 9, 9], [0, 1, 0, 1],
+                        np.ones(4))
+        p = partition_rows_balanced(coo, 4)
+        assert (np.diff(p.bounds) >= 0).all()
+        assert p.bounds[0] == 0 and p.bounds[-1] == 10
+        assert p.nnz_per_part.sum() == 4
+
+    def test_part_of_row_boundary_rows(self):
+        coo = random_coo(100, 50, 0.1, seed=9)
+        p = partition_rows_balanced(coo, 4)
+        for i, (lo, hi) in enumerate(p.ranges()):
+            if hi > lo:
+                # First and last row of every range belong to part i.
+                assert p.part_of_row(np.array([lo]))[0] == i
+                assert p.part_of_row(np.array([hi - 1]))[0] == i
+
     def test_split_rows_reassembles(self, small_coo):
         n = min(3, max(1, small_coo.nrows))
         p = partition_rows_balanced(small_coo, n)
@@ -178,3 +225,43 @@ class TestNative:
         csr = coo_to_csr(coo)
         with pytest.raises(ValueError):
             native_parallel_spmv(csr, np.ones(59))
+
+    def test_concurrent_calls_different_matrices(self, rng):
+        # Regression: _WORK is module-global; before the install/fork
+        # critical section took a lock, a concurrent call could fork
+        # workers that snapshot the *other* call's matrix and vector.
+        import threading
+
+        a = random_coo(1500, 1500, 0.05, seed=10)
+        b = random_coo(1200, 1300, 0.06, seed=11)
+        csr_a, csr_b = coo_to_csr(a), coo_to_csr(b)
+        xa = rng.standard_normal(1500)
+        xb = rng.standard_normal(1300)
+        want_a, want_b = csr_a.spmv(xa), csr_b.spmv(xb)
+
+        results: dict[str, list] = {"a": [], "b": []}
+        errors: list[BaseException] = []
+
+        def run(key, csr, x, n_iters=4):
+            try:
+                for _ in range(n_iters):
+                    results[key].append(
+                        native_parallel_spmv(csr, x, n_workers=2,
+                                             min_nnz_per_worker=1)
+                    )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=("a", csr_a, xa)),
+            threading.Thread(target=run, args=("b", csr_b, xb)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for got in results["a"]:
+            np.testing.assert_allclose(got, want_a, rtol=1e-12)
+        for got in results["b"]:
+            np.testing.assert_allclose(got, want_b, rtol=1e-12)
