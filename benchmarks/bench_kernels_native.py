@@ -1,9 +1,15 @@
 """Native wall-clock kernel benchmarks (real time, this host).
 
 Unlike the table/figure benches (which regenerate the paper's simulated
-results), these measure the library's actual NumPy kernels with
+results), these measure the library's actual kernels with
 pytest-benchmark: format comparison, the generated unrolled kernels vs
-generic einsum, index widths, and the segmented scan.
+generic einsum, index widths, the segmented scan, and the compiled C
+backend vs NumPy.
+
+Run directly (``python benchmarks/bench_kernels_native.py --json
+BENCH_5.json``) for the CI perf snapshot: a NumPy-vs-C comparison on
+the FEM-Cant case with a parity check against ``spmv_reference`` and
+an optional ``--min-speedup`` gate.
 """
 
 from __future__ import annotations
@@ -12,11 +18,17 @@ import numpy as np
 import pytest
 
 from repro.formats import IndexWidth, coo_to_csr, to_bcoo, to_bcsr
+from repro.kernels.cbackend import c_backend_available, spmv_c
 from repro.kernels.generator import spmv_generated
 from repro.matrices import generate
 from repro.parallel.scan import segmented_scan_spmv
 
 SCALE = 0.25
+
+needs_cc = pytest.mark.skipif(
+    not c_backend_available(),
+    reason="C backend unavailable (no compiler or REPRO_DISABLE_CC)",
+)
 
 
 @pytest.fixture(scope="module")
@@ -63,6 +75,40 @@ def test_native_segmented_scan(benchmark, fem):
     benchmark(segmented_scan_spmv, csr, x, n_parts=4)
 
 
+@needs_cc
+def test_native_csr_cbackend(benchmark, fem):
+    coo, x = fem
+    csr = coo_to_csr(coo)
+    y = benchmark(spmv_c, csr, x)
+    assert np.isfinite(y).all()
+
+
+@needs_cc
+def test_native_csr16_cbackend(benchmark, fem):
+    coo, x = fem
+    csr = coo_to_csr(coo, index_width=IndexWidth.I16)
+    benchmark(spmv_c, csr, x)
+
+
+@needs_cc
+def test_native_bcsr_2x2_cbackend(benchmark, fem):
+    coo, x = fem
+    b = to_bcsr(coo, 2, 2)
+    benchmark(spmv_c, b, x)
+
+
+@needs_cc
+def test_native_threaded_cbackend(benchmark, fem):
+    import os
+
+    from repro.parallel import threaded_spmv
+
+    coo, x = fem
+    csr = coo_to_csr(coo)
+    n = min(4, os.cpu_count() or 1)
+    benchmark(threaded_spmv, csr, x, n_threads=n)
+
+
 def test_native_results_agree(fem):
     coo, x = fem
     expected = coo_to_csr(coo).spmv(x)
@@ -70,3 +116,87 @@ def test_native_results_agree(fem):
     np.testing.assert_allclose(b.spmv(x), expected, rtol=1e-10)
     np.testing.assert_allclose(spmv_generated(b, x), expected,
                                rtol=1e-10)
+    if c_backend_available():
+        np.testing.assert_allclose(spmv_c(coo_to_csr(coo), x),
+                                   expected, rtol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# CI perf snapshot: ``python benchmarks/bench_kernels_native.py``
+# ----------------------------------------------------------------------
+def _snapshot(iters: int) -> dict:
+    """Time NumPy vs compiled CSR SpMV on the FEM-Cant case and verify
+    both against the per-entry reference kernel."""
+    import time
+
+    from repro.kernels.reference import spmv_reference
+
+    coo = generate("FEM-Cant", scale=SCALE, seed=0)
+    csr = coo_to_csr(coo)
+    x = np.random.default_rng(0).standard_normal(coo.ncols)
+
+    def clock(fn) -> float:
+        fn()
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        return (time.perf_counter() - t0) / iters
+
+    expected = spmv_reference(coo, x)
+    bound = 1e-12 * np.maximum(np.abs(expected), 1.0)
+    t_numpy = clock(lambda: csr.spmv(x))
+    assert np.all(np.abs(csr.spmv(x) - expected) <= bound)
+    result = {
+        "case": "FEM-Cant",
+        "scale": SCALE,
+        "nnz": int(coo.nnz_logical),
+        "iters": iters,
+        "c_backend_available": c_backend_available(),
+        "numpy_ms": t_numpy * 1e3,
+        "numpy_gflops": 2.0 * coo.nnz_logical / t_numpy / 1e9,
+    }
+    if c_backend_available():
+        t_c = clock(lambda: spmv_c(csr, x))
+        assert np.all(np.abs(spmv_c(csr, x) - expected) <= bound), \
+            "compiled CSR kernel diverged from spmv_reference"
+        result.update(
+            c_ms=t_c * 1e3,
+            c_gflops=2.0 * coo.nnz_logical / t_c / 1e9,
+            speedup=t_numpy / t_c,
+        )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+    import sys
+
+    ap = argparse.ArgumentParser(
+        description="NumPy-vs-C SpMV perf snapshot (CI artifact)"
+    )
+    ap.add_argument("--json", metavar="FILE", default=None,
+                    help="write the snapshot to FILE")
+    ap.add_argument("--iters", type=int, default=50)
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail unless C beats NumPy by this factor")
+    args = ap.parse_args(argv)
+    snap = _snapshot(args.iters)
+    print(json.dumps(snap, indent=2))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(snap, f, indent=2)
+    if args.min_speedup is not None:
+        if "speedup" not in snap:
+            print("C backend unavailable: cannot enforce --min-speedup",
+                  file=sys.stderr)
+            return 1
+        if snap["speedup"] < args.min_speedup:
+            print(f"speedup {snap['speedup']:.2f}x is below the "
+                  f"{args.min_speedup:.2f}x gate", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

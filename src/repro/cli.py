@@ -14,6 +14,9 @@ serve               Long-running batched SpMV HTTP service.
 plan-cache          Inspect or clear the on-disk tuned-plan cache.
 dist-bench          Shards × matrix sweep over the sharded-execution
                     tier (per-shard imbalance, effective GFLOP/s).
+bench MATRIX        Wall-clock SpMV: NumPy vs the compiled C backend
+                    (and the threaded C path) on one matrix.
+kernels             List compiled C kernel variants and cache status.
 
 Every command accepts ``--trace FILE`` (JSONL spans, load with
 :func:`repro.observe.read_trace`) and ``--trace-chrome FILE`` (Chrome
@@ -278,6 +281,7 @@ def _cmd_serve(args) -> int:
         n_workers=args.workers,
         shards=args.shards,
         shard_threshold_bytes=int(args.shard_threshold_mb * 1e6),
+        backend=args.backend,
     )
     httpd = ServeHTTPServer((args.host, args.port), client)
     print(
@@ -331,7 +335,8 @@ def _cmd_dist_bench(args) -> int:
             n_eff = max(1, min(n, dim))
             imbalance = (part_fn(coo, n_eff).imbalance
                          if n_eff > 1 else 1.0)
-            with ShardGroup(n, partition=args.path) as g:
+            with ShardGroup(n, partition=args.path,
+                            backend=args.backend) as g:
                 fp = g.register(coo)
                 g.spmv(fp, x)     # warm: fault paths, page faults
                 t0 = _time.perf_counter()
@@ -349,6 +354,110 @@ def _cmd_dist_bench(args) -> int:
         rows,
         title=f"sharded SpMV sweep (scale {args.scale}, "
               f"{args.iters} iters, {args.path} partition)",
+    ))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Wall-clock SpMV: NumPy kernels vs the compiled backend."""
+    import time as _time
+
+    import numpy as np
+
+    from .formats import coo_to_csr
+    from .kernels.cbackend import c_backend_available
+    from .kernels.registry import resolve_backend, spmv_backend
+
+    coo = _load_or_generate(args)
+    csr = coo_to_csr(coo)
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(coo.ncols)
+
+    def clock(fn) -> float:
+        fn()                                   # warm
+        t0 = _time.perf_counter()
+        for _ in range(args.iters):
+            fn()
+        return (_time.perf_counter() - t0) / args.iters
+
+    backend = resolve_backend(args.backend)
+    rows = []
+    t_np = clock(lambda: csr.spmv(x))
+    rows.append(["numpy", f"{t_np * 1e3:.3f}",
+                 f"{2.0 * coo.nnz_logical / t_np / 1e9:.3f}", "1.00"])
+    if backend == "c":
+        t_c = clock(lambda: spmv_backend(csr, x, backend="c"))
+        rows.append(["c", f"{t_c * 1e3:.3f}",
+                     f"{2.0 * coo.nnz_logical / t_c / 1e9:.3f}",
+                     f"{t_np / t_c:.2f}"])
+        if args.threads and args.threads > 1:
+            from .parallel import threaded_spmv
+
+            t_t = clock(lambda: threaded_spmv(
+                csr, x, n_threads=args.threads
+            ))
+            rows.append([f"c-threaded[{args.threads}]",
+                         f"{t_t * 1e3:.3f}",
+                         f"{2.0 * coo.nnz_logical / t_t / 1e9:.3f}",
+                         f"{t_np / t_t:.2f}"])
+    elif args.backend != "numpy":
+        print("(no C compiler available — compiled rows skipped)",
+              file=sys.stderr)
+    print(format_table(
+        ["backend", "ms/SpMV", "GFLOP/s", "speedup"], rows,
+        title=f"{args.matrix} wall-clock SpMV "
+              f"({coo.nrows}x{coo.ncols}, {coo.nnz_logical:,} nnz, "
+              f"{args.iters} iters; compiler "
+              f"{'yes' if c_backend_available() else 'no'})",
+    ))
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    """Compiled-variant inventory: cache status per (fmt, r, c, width)."""
+    import os
+
+    from .formats.base import IndexWidth
+    from .formats.bcsr import POWER_OF_TWO_BLOCKS
+    from .kernels.cbackend import (
+        Variant,
+        c_backend_available,
+        cache_dir,
+        find_compiler,
+        get_c_kernel,
+        loaded_variants,
+        object_path,
+    )
+
+    if not c_backend_available():
+        print("C backend unavailable (REPRO_DISABLE_CC set, or no "
+              "cc/gcc/clang on PATH); NumPy fallback is active",
+              file=sys.stderr)
+        return 1
+    variants = [Variant("csr", 1, 1, w)
+                for w in (IndexWidth.I16, IndexWidth.I32)]
+    for fmt in ("bcsr", "bcoo"):
+        for r, c in POWER_OF_TWO_BLOCKS:
+            for w in (IndexWidth.I16, IndexWidth.I32):
+                variants.append(Variant(fmt, r, c, w))
+    if args.warm:
+        for v in variants:
+            get_c_kernel(v.fmt, v.r, v.c, v.index_width)
+    loaded = {v.name for v in loaded_variants()}
+    rows = []
+    for v in variants:
+        path = object_path(v)
+        compiled = os.path.exists(path)
+        status = ("validated" if v.name in loaded
+                  else "compiled" if compiled else "-")
+        rows.append([v.fmt, f"{v.r}x{v.c}", v.bits, status,
+                     os.path.basename(path) if compiled else "-"])
+    cc = find_compiler()
+    print(format_table(
+        ["format", "tile", "idx bits", "status", "cached object"],
+        rows,
+        title=f"C kernel variants — cache {cache_dir()} — "
+              f"compiler: {cc[1] if cc else 'none'}",
     ))
     return 0
 
@@ -469,6 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--shard-threshold-mb", type=float, default=4.0,
                     help="matrix footprint (MB) above which a "
                          "registered matrix is sharded")
+    sp.add_argument("--backend", choices=["numpy", "c", "auto"],
+                    default="numpy",
+                    help="execution backend (c = runtime-compiled "
+                         "kernels; auto falls back to numpy without "
+                         "a compiler)")
 
     sp = sub.add_parser(
         "dist-bench",
@@ -486,6 +600,34 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--path", choices=["row", "col"], default="row",
                     help="decomposition: row slabs or column "
                          "slabs + reduction")
+    sp.add_argument("--backend", choices=["numpy", "c", "auto"],
+                    default="numpy",
+                    help="execution backend inside the shards")
+
+    sp = sub.add_parser(
+        "bench",
+        help="wall-clock SpMV: numpy vs compiled C backend",
+        parents=[common],
+    )
+    sp.add_argument("matrix",
+                    help="suite name, .mtx file, or .npz file")
+    sp.add_argument("--scale", type=float, default=0.25)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--iters", type=int, default=50,
+                    help="timed SpMV calls per backend")
+    sp.add_argument("--backend", choices=["numpy", "c", "auto"],
+                    default="auto",
+                    help="which compiled rows to include")
+    sp.add_argument("--threads", type=int, default=None,
+                    help="also time the threaded C path with N threads")
+
+    sp = sub.add_parser(
+        "kernels",
+        help="list compiled C kernel variants and cache status",
+        parents=[common],
+    )
+    sp.add_argument("--warm", action="store_true",
+                    help="compile + validate every variant first")
 
     sp = sub.add_parser("plan-cache",
                         help="inspect or clear the tuned-plan store",
@@ -509,6 +651,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "plan-cache": _cmd_plan_cache,
     "dist-bench": _cmd_dist_bench,
+    "bench": _cmd_bench,
+    "kernels": _cmd_kernels,
 }
 
 

@@ -121,12 +121,18 @@ class SpmvEngine:
         level: OptimizationLevel = OptimizationLevel.FULL,
         n_threads: int = 1,
         config: OptimizationConfig | None = None,
+        backend: str = "numpy",
     ) -> SpmvPlan:
         """Produce an optimization plan (no heavy materialization).
 
         One pass over the nonzeros per register-block candidate, exactly
-        the paper's search-free heuristic tuning.
+        the paper's search-free heuristic tuning. ``backend`` selects
+        the execution substrate the plan will run on (``numpy`` | ``c``
+        | ``auto``); it does not change the planned data structure.
         """
+        from ..kernels.registry import resolve_backend
+
+        backend = resolve_backend(backend)
         machine = self.machine
         if config is None:
             config = optimization_config(machine, level,
@@ -183,6 +189,7 @@ class SpmvEngine:
             return SpmvPlan(
                 machine=machine, config=config, profile=profile,
                 partition=partition, choices=tuple(choices),
+                backend=backend,
             )
 
     # ------------------------------------------------------------------
@@ -379,9 +386,11 @@ class SpmvEngine:
         *,
         level: OptimizationLevel = OptimizationLevel.FULL,
         n_threads: int = 1,
+        backend: str = "numpy",
     ) -> "TunedSpMV":
         """Plan and materialize: returns an executable tuned SpMV."""
-        plan = self.plan(coo, level=level, n_threads=n_threads)
+        plan = self.plan(coo, level=level, n_threads=n_threads,
+                         backend=backend)
         with _span("engine.materialize", machine=self.machine.name,
                    nnz=coo.nnz_logical):
             matrix = plan.materialize(coo)
@@ -399,8 +408,11 @@ class TunedSpMV:
 
     def __call__(self, x: np.ndarray,
                  y: np.ndarray | None = None) -> np.ndarray:
-        """Numerically execute ``y ← y + A·x`` with the tuned structure."""
-        return self.matrix.spmv(x, y)
+        """Numerically execute ``y ← y + A·x`` with the tuned structure
+        on the plan's chosen backend."""
+        from ..kernels.registry import spmv_backend
+
+        return spmv_backend(self.matrix, x, y, backend=self.plan.backend)
 
     def simulate(self) -> SimResult:
         """Predicted performance on the engine's machine model."""

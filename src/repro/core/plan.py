@@ -97,6 +97,10 @@ class SpmvPlan:
     profile: PlanProfile
     partition: RowPartition
     choices: tuple[tuple[tuple[int, int, int, int], FormatChoice], ...]
+    #: Execution backend: ``numpy`` (default, bit-stable), ``c``
+    #: (runtime-compiled kernels), or ``auto``. See
+    #: :func:`repro.kernels.registry.resolve_backend`.
+    backend: str = "numpy"
 
     @property
     def n_threads(self) -> int:
@@ -146,6 +150,7 @@ class SpmvPlan:
                 {"extent": list(ext), "choice": choice.to_dict()}
                 for ext, choice in self.choices
             ],
+            "backend": self.backend,
         }
 
     @classmethod
@@ -175,6 +180,9 @@ class SpmvPlan:
                  FormatChoice.from_dict(item["choice"]))
                 for item in d["choices"]
             ),
+            # Plans serialized before the C backend existed load as
+            # NumPy plans.
+            backend=str(d.get("backend", "numpy")),
         )
 
     def describe(self) -> dict:
@@ -187,6 +195,7 @@ class SpmvPlan:
         return {
             "machine": self.machine.name,
             "config": self.config.label,
+            "backend": self.backend,
             "n_threads": self.n_threads,
             "n_blocks": len(self.choices),
             "footprint_bytes": self.footprint_bytes,

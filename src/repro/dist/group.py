@@ -63,7 +63,6 @@ from ..parallel.partition import (
 from .fault import HeartbeatMonitor, RetryPolicy
 from .shard import shard_main
 from .shm import SegmentArena
-from ..formats.multivector import spmm as _serial_spmm
 
 
 class _ShardHandle:
@@ -154,7 +153,10 @@ class ShardGroup:
         heartbeat_interval_s: float = 0.2,
         compute_timeout_s: float = 30.0,
         retry: RetryPolicy | None = None,
+        backend: str = "numpy",
     ):
+        from ..kernels.registry import resolve_backend
+
         if n_shards < 1:
             raise DistError(f"n_shards must be >= 1, got {n_shards}")
         if partition not in ("row", "col"):
@@ -165,6 +167,10 @@ class ShardGroup:
         self.n_shards = n_shards
         self.partition = partition
         self.k_cap = k_cap
+        # Resolved in the parent; shipped to workers inside each slab
+        # payload. Compiled objects are built/validated per process
+        # (the cache on disk makes the children's builds a no-op).
+        self.backend = resolve_backend(backend)
         self.heartbeat_interval_s = heartbeat_interval_s
         self.compute_timeout_s = compute_timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
@@ -339,6 +345,7 @@ class ShardGroup:
                 "slab": rec.arena.ship_csr(slab),
                 "x": x_spec,
                 "y": y_s,
+                "backend": self.backend,
             }
             _metrics.inc("dist.slab_ships")
 
@@ -494,7 +501,9 @@ class ShardGroup:
                 )
             _metrics.inc("dist.spmv_calls")
             if rec.csr is not None:
-                return rec.csr.spmv(x)
+                from ..kernels.registry import spmv_backend
+
+                return spmv_backend(rec.csr, x, backend=self.backend)
             with _span("dist.spmv", fingerprint=fingerprint,
                        shards=len(rec.active)):
                 rec.x_view[:, 0] = x
@@ -517,7 +526,10 @@ class ShardGroup:
             _metrics.inc("dist.spmm_calls")
             _metrics.observe("dist.batch_k", k)
             if rec.csr is not None:
-                return _serial_spmm(rec.csr, x_block)
+                from ..kernels.registry import spmm_backend
+
+                return spmm_backend(rec.csr, x_block,
+                                    backend=self.backend)
             out = np.empty((rec.nrows, k), dtype=np.float64)
             with _span("dist.spmm", fingerprint=fingerprint, k=k,
                        shards=len(rec.active)):
@@ -590,6 +602,7 @@ class ShardGroup:
                 "partition": self.partition,
                 "serial": self.serial,
                 "k_cap": self.k_cap,
+                "backend": self.backend,
                 "alive": (0 if self.serial else
                           sum(1 for h in self._shards if h.alive())),
                 "matrices": len(self._records),

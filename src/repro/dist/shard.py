@@ -40,6 +40,7 @@ class _ResidentMatrix:
         self.path = payload["path"]              # "row" | "col"
         self.lo = payload["lo"]                  # r0 (row) / c0 (col)
         self.hi = payload["hi"]                  # r1 (row) / c1 (col)
+        self.backend = payload.get("backend", "numpy")
         self.slab, self._slab_handles = attach_csr(payload["slab"])
         self.x, self._hx = attach_array(payload["x"])    # (ncols, k_cap)
         self.y, self._hy = attach_array(payload["y"])
@@ -55,6 +56,15 @@ class _ResidentMatrix:
             x = self.x[self.lo:self.hi, :k]
             y = self.y[:, :k]
         y[...] = 0.0
+        if self.backend == "c":
+            # Parent resolved the backend, but this process may still
+            # lack the compiler (exec'd children, changed env): go
+            # through "auto" so the slab degrades to NumPy rather than
+            # failing the compute round.
+            from ..kernels.registry import spmm_backend
+
+            spmm_backend(self.slab, x, y, backend="auto")
+            return
         # spmm's k==1 path is the exact single-vector spmv kernel, so
         # row-path results concatenate bit-identically to serial spmv.
         spmm(self.slab, x, y)

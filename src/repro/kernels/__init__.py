@@ -6,20 +6,35 @@ optimizations appropriate for each underlying system". The analogue
 here is :mod:`repro.kernels.generator`: it emits specialized Python
 source for a given (format, r, c) variant — fully unrolled tile
 arithmetic instead of generic einsum — compiles it with ``exec`` and
-caches the callable. :mod:`repro.kernels.reference` holds the
-obviously-correct implementations everything is validated against.
+caches the callable. :mod:`repro.kernels.cbackend` goes one step
+further and emits real C, compiled at runtime and dispatched GIL-free
+— select it with ``backend="c"`` / ``backend="auto"`` through
+:func:`spmv_backend` and friends. :mod:`repro.kernels.reference` holds
+the obviously-correct implementations everything is validated against.
 """
 
 from .generator import generate_kernel_source, get_generated_kernel
 from .reference import spmv_dense_reference, spmv_reference
-from .registry import available_kernels, get_kernel, register_kernel
+from .registry import (
+    BACKENDS,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_backend,
+    spmm_backend,
+    spmv_backend,
+)
 
 __all__ = [
+    "BACKENDS",
     "available_kernels",
     "generate_kernel_source",
     "get_generated_kernel",
     "get_kernel",
     "register_kernel",
+    "resolve_backend",
+    "spmm_backend",
+    "spmv_backend",
     "spmv_dense_reference",
     "spmv_reference",
 ]

@@ -1,0 +1,67 @@
+"""Runtime-compiled C kernel backend.
+
+The paper's code generator emitted specialized C per (format, r×c,
+index width) variant; this package is that generator plus the runtime
+around it: codegen → one-shot compile into an on-disk cache → ctypes
+load → load-time validation against the reference kernel → dispatch.
+Compiled kernels release the GIL, which is what makes
+:mod:`repro.parallel.threaded` a real parallel path.
+
+Public surface::
+
+    from repro.kernels.cbackend import (
+        c_backend_available,   # can compiled kernels run here?
+        spmv_c, spmm_c,        # drop-in twins of matrix.spmv / spmm
+        get_c_kernel,          # compile+load+validate one variant
+    )
+
+Set ``REPRO_DISABLE_CC=1`` to force the pure-NumPy fallback path.
+"""
+
+from .build import (
+    CBackendUnavailable,
+    CFLAGS,
+    build_variant,
+    cache_dir,
+    cc_disabled,
+    compiler_available,
+    find_compiler,
+    object_path,
+)
+from .codegen import C_FORMATS, Variant, c_kernel_source
+from .dispatch import (
+    c_backend_available,
+    spmm_c,
+    spmv_c,
+    supports_format,
+)
+from .loader import (
+    VALIDATION_RTOL,
+    CKernel,
+    get_c_kernel,
+    loaded_variants,
+    reset_for_tests,
+)
+
+__all__ = [
+    "CBackendUnavailable",
+    "CFLAGS",
+    "CKernel",
+    "C_FORMATS",
+    "VALIDATION_RTOL",
+    "Variant",
+    "build_variant",
+    "c_backend_available",
+    "c_kernel_source",
+    "cache_dir",
+    "cc_disabled",
+    "compiler_available",
+    "find_compiler",
+    "get_c_kernel",
+    "loaded_variants",
+    "object_path",
+    "reset_for_tests",
+    "spmm_c",
+    "spmv_c",
+    "supports_format",
+]

@@ -1,0 +1,191 @@
+"""Runtime build pipeline: C source → cached shared object.
+
+Each variant compiles once with the system C compiler into a shared
+object cached on disk. The cache key folds together the generated
+source, the compiler identity (``cc --version`` first line), the flag
+set, and ``repro.__version__`` — touching the generator, switching
+compilers, or upgrading the library all invalidate stale objects
+automatically.
+
+Environment knobs
+-----------------
+``REPRO_DISABLE_CC``
+    Any non-empty value other than ``0`` disables the backend entirely
+    (used by CI to prove the pure-NumPy fallback path).
+``REPRO_CC``
+    Compiler executable to use (default: first of ``cc``, ``gcc``,
+    ``clang`` on ``PATH``).
+``REPRO_CKERNEL_CACHE``
+    Cache directory (default ``~/.cache/repro/ckernels``).
+
+Concurrency: compiles run under a process-wide lock and the finished
+object lands via an atomic ``os.replace``, so concurrent processes
+racing on a cold cache at worst compile the same variant twice — never
+load a half-written object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+from ...errors import KernelError
+from .codegen import Variant, c_kernel_source
+
+#: Flag set baked into every build (and into the cache key).
+#: ``-ffp-contract=off`` keeps results identical across FMA and
+#: non-FMA hosts; the kernels are memory-bound, so it costs nothing.
+CFLAGS = ("-O3", "-std=c99", "-fPIC", "-shared", "-ffp-contract=off",
+          "-fno-math-errno")
+
+_COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+_lock = threading.Lock()
+_compiler_cache: dict[str, tuple[str, str] | None] = {}
+
+
+class CBackendUnavailable(KernelError):
+    """The C backend cannot run here (no compiler, or disabled)."""
+
+
+def cc_disabled() -> bool:
+    """True when ``REPRO_DISABLE_CC`` switches the backend off."""
+    return os.environ.get("REPRO_DISABLE_CC", "0") not in ("", "0")
+
+
+def find_compiler() -> tuple[str, str] | None:
+    """Locate the system compiler: ``(executable, identity line)``.
+
+    Returns None when no compiler is usable or the backend is disabled.
+    The identity probe (one ``--version`` run per executable) is cached
+    for the life of the process.
+    """
+    if cc_disabled():
+        return None
+    names = [os.environ["REPRO_CC"]] if os.environ.get("REPRO_CC") \
+        else list(_COMPILER_CANDIDATES)
+    for name in names:
+        cached = _compiler_cache.get(name, False)
+        if cached is not False:
+            if cached is not None:
+                return cached
+            continue
+        path = shutil.which(name)
+        if path is None:
+            _compiler_cache[name] = None
+            continue
+        try:
+            out = subprocess.run(
+                [path, "--version"], capture_output=True, text=True,
+                timeout=30,
+            )
+            ident = (out.stdout or out.stderr).splitlines()[0].strip() \
+                if (out.stdout or out.stderr) else path
+            if out.returncode != 0:
+                _compiler_cache[name] = None
+                continue
+        except (OSError, subprocess.TimeoutExpired, IndexError):
+            _compiler_cache[name] = None
+            continue
+        _compiler_cache[name] = (path, ident)
+        return path, ident
+    return None
+
+
+def compiler_available() -> bool:
+    return find_compiler() is not None
+
+
+def cache_dir() -> str:
+    """On-disk shared-object cache directory (created on demand)."""
+    root = os.environ.get("REPRO_CKERNEL_CACHE")
+    if not root:
+        root = os.path.join(
+            os.path.expanduser("~"), ".cache", "repro", "ckernels"
+        )
+    return root
+
+
+def object_key(variant: Variant, source: str, compiler_id: str) -> str:
+    """Content hash identifying one compiled object."""
+    from ... import __version__
+
+    h = hashlib.sha256()
+    for part in (source, compiler_id, " ".join(CFLAGS), __version__):
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+def object_path(variant: Variant, *, compiler_id: str | None = None,
+                source: str | None = None) -> str:
+    """Cache path a variant's shared object lives at (existing or not)."""
+    if source is None:
+        source = c_kernel_source(variant)
+    if compiler_id is None:
+        cc = find_compiler()
+        if cc is None:
+            raise CBackendUnavailable(
+                "no C compiler available (REPRO_DISABLE_CC set, or no "
+                "cc/gcc/clang on PATH)"
+            )
+        compiler_id = cc[1]
+    key = object_key(variant, source, compiler_id)
+    return os.path.join(cache_dir(), f"{variant.name}_{key}.so")
+
+
+def build_variant(variant: Variant) -> str:
+    """Compile (or fetch from cache) one variant; returns the .so path.
+
+    Raises :class:`CBackendUnavailable` when no compiler is present and
+    :class:`KernelError` when compilation itself fails.
+    """
+    cc = find_compiler()
+    if cc is None:
+        raise CBackendUnavailable(
+            "no C compiler available (REPRO_DISABLE_CC set, or no "
+            "cc/gcc/clang on PATH)"
+        )
+    cc_path, cc_id = cc
+    source = c_kernel_source(variant)
+    out_path = object_path(variant, compiler_id=cc_id, source=source)
+    if os.path.exists(out_path):
+        return out_path
+    with _lock:
+        if os.path.exists(out_path):  # lost the race inside the process
+            return out_path
+        os.makedirs(cache_dir(), exist_ok=True)
+        fd, tmp_so = tempfile.mkstemp(
+            suffix=".so.tmp", prefix=variant.name + "_",
+            dir=cache_dir(),
+        )
+        os.close(fd)
+        src_path = tmp_so + ".c"
+        try:
+            with open(src_path, "w") as f:
+                f.write(source)
+            proc = subprocess.run(
+                [cc_path, *CFLAGS, src_path, "-o", tmp_so],
+                capture_output=True, text=True, timeout=120,
+            )
+            if proc.returncode != 0:
+                raise KernelError(
+                    f"C compilation of {variant.name} failed "
+                    f"({cc_path}): {proc.stderr.strip()[:2000]}"
+                )
+            os.replace(tmp_so, out_path)   # atomic publish
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            raise KernelError(
+                f"C compilation of {variant.name} failed: {exc}"
+            ) from exc
+        finally:
+            for path in (src_path, tmp_so):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+    return out_path

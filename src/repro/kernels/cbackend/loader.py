@@ -1,0 +1,163 @@
+"""Load compiled kernels via ctypes and validate before dispatch.
+
+``ctypes.CDLL`` releases the GIL for the duration of every foreign
+call, so a loaded kernel runs truly concurrently with other Python
+threads — the property :mod:`repro.parallel.threaded` builds on.
+
+Every kernel is probed at load time: a randomized matrix (deterministic
+per variant, with deliberately empty rows) is pushed through the
+compiled code and compared against
+:func:`repro.kernels.reference.spmv_reference` to 1e-12 relative
+tolerance. A kernel that fails the probe never becomes eligible for
+dispatch — a miscompiled object degrades to the NumPy path instead of
+corrupting results.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import KernelError
+from ...formats.base import IndexWidth
+from ...observe import metrics as _metrics
+from .build import CBackendUnavailable, build_variant
+from .codegen import Variant
+
+#: Probe-validation tolerance (matches the test-suite parity bound).
+VALIDATION_RTOL = 1e-12
+
+_lock = threading.Lock()
+_loaded: dict[Variant, "CKernel"] = {}
+_broken: dict[Variant, str] = {}
+
+_I64 = ctypes.c_int64
+_PTR = ctypes.c_void_p
+
+
+@dataclass(frozen=True)
+class CKernel:
+    """One loaded, validated kernel: raw ctypes entry points."""
+
+    variant: Variant
+    spmv: object                 #: ctypes function (format-specific)
+    spmm: object | None          #: fused multi-vector entry (csr only)
+    path: str                    #: shared object on disk
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CKernel {self.variant.name} @ {self.path}>"
+
+
+def _bind(variant: Variant, path: str) -> CKernel:
+    lib = ctypes.CDLL(path)
+    spmv = lib.repro_spmv
+    spmv.restype = None
+    if variant.fmt == "csr":
+        spmv.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _I64, _I64]
+        spmm = lib.repro_spmm
+        spmm.restype = None
+        spmm.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _I64, _I64, _I64]
+    elif variant.fmt == "bcsr":
+        spmv.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _I64, _I64]
+        spmm = None
+    else:  # bcoo
+        spmv.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _I64]
+        spmm = None
+    return CKernel(variant=variant, spmv=spmv, spmm=spmm, path=path)
+
+
+def _probe_matrix(variant: Variant, seed: int):
+    """Random COO probe with empty rows and at least one dense-ish row."""
+    from ...formats.coo import COOMatrix
+
+    rng = np.random.default_rng(seed)
+    m, n = 23, 19
+    nnz = 60
+    row = rng.integers(0, m, size=nnz)
+    row[row == 3] = 4          # row 3 stays empty on purpose
+    col = rng.integers(0, n, size=nnz)
+    val = rng.standard_normal(nnz)
+    return COOMatrix((m, n), row, col, val)
+
+
+def _validate(variant: Variant, kernel: CKernel) -> None:
+    """Compare the compiled kernel with the trusted reference."""
+    from ...formats.convert import coo_to_csr, to_bcoo, to_bcsr
+    from ..reference import spmv_reference
+    from .dispatch import _spmv_c_format
+
+    seed = abs(hash((variant.fmt, variant.r, variant.c,
+                     int(variant.index_width)))) % (2 ** 31)
+    coo = _probe_matrix(variant, seed)
+    if variant.fmt == "csr":
+        mat = coo_to_csr(coo, index_width=variant.index_width)
+    elif variant.fmt == "bcsr":
+        mat = to_bcsr(coo, variant.r, variant.c,
+                      index_width=variant.index_width)
+    else:
+        mat = to_bcoo(coo, variant.r, variant.c,
+                      index_width=variant.index_width)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal(coo.ncols)
+    y0 = rng.standard_normal(coo.nrows)
+    expected = spmv_reference(coo, x, y0.copy())
+    got = _spmv_c_format(mat, np.ascontiguousarray(x), y0.copy(), kernel)
+    err = np.abs(got - expected)
+    bound = VALIDATION_RTOL * np.maximum(np.abs(expected), 1.0)
+    if not np.all(err <= bound):
+        raise KernelError(
+            f"compiled kernel {variant.name} failed load-time "
+            f"validation (max abs err {float(err.max()):.3e})"
+        )
+
+
+def get_c_kernel(fmt: str, r: int, c: int,
+                 index_width: IndexWidth) -> CKernel:
+    """Compile/load/validate (all cached) the kernel for one variant.
+
+    Raises :class:`CBackendUnavailable` when no compiler is present,
+    :class:`KernelError` when the build or validation fails (the
+    variant is then blacklisted for the process).
+    """
+    variant = Variant(fmt, int(r), int(c), IndexWidth(index_width))
+    hit = _loaded.get(variant)
+    if hit is not None:
+        return hit
+    with _lock:
+        hit = _loaded.get(variant)
+        if hit is not None:
+            return hit
+        if variant in _broken:
+            raise KernelError(_broken[variant])
+        path = build_variant(variant)   # CBackendUnavailable passes up
+        _metrics.inc("c_backend.loads", fmt=variant.fmt)
+        kernel = _bind(variant, path)
+        try:
+            _validate(variant, kernel)
+        except KernelError as exc:
+            _broken[variant] = str(exc)
+            _metrics.inc("c_backend.validation_failures",
+                         fmt=variant.fmt)
+            raise
+        _metrics.inc("c_backend.kernels_validated", fmt=variant.fmt)
+        _loaded[variant] = kernel
+        return kernel
+
+
+def loaded_variants() -> list[Variant]:
+    """Variants validated and dispatchable in this process."""
+    with _lock:
+        return sorted(_loaded, key=lambda v: v.name)
+
+
+def reset_for_tests() -> None:
+    """Drop in-process kernel state (tests toggling env knobs)."""
+    from . import build
+
+    with _lock:
+        _loaded.clear()
+        _broken.clear()
+        build._compiler_cache.clear()

@@ -14,13 +14,18 @@ Generated source is ``exec``-compiled once and cached; call
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 import numpy as np
 
 from ..errors import KernelError
 
+# Guarded like parallel.native._WORK: threaded callers (the C-backend
+# fallback path runs inside worker threads) must not race the
+# compile-and-insert below.
 _CACHE: dict[tuple[str, int, int], Callable] = {}
+_CACHE_LOCK = threading.Lock()
 
 _HEADER = '''\
 def kernel(n_brows, n_bcols, brow_ptr, bcol, blocks, x, y, segment_sums):
@@ -84,14 +89,19 @@ def generate_kernel_source(fmt: str, r: int, c: int) -> str:
 def get_generated_kernel(fmt: str, r: int, c: int) -> Callable:
     """Compile (or fetch) the specialized kernel callable."""
     key = (fmt, int(r), int(c))
-    if key in _CACHE:
-        return _CACHE[key]
-    src = generate_kernel_source(fmt, r, c)
-    ns: dict = {}
-    exec(compile(src, f"<generated {fmt} {r}x{c}>", "exec"), ns)
-    fn = ns["kernel"]
-    _CACHE[key] = fn
-    return fn
+    fn = _CACHE.get(key)
+    if fn is not None:
+        return fn
+    with _CACHE_LOCK:
+        fn = _CACHE.get(key)
+        if fn is not None:
+            return fn
+        src = generate_kernel_source(fmt, r, c)
+        ns: dict = {}
+        exec(compile(src, f"<generated {fmt} {r}x{c}>", "exec"), ns)
+        fn = ns["kernel"]
+        _CACHE[key] = fn
+        return fn
 
 
 def spmv_generated(matrix, x: np.ndarray,

@@ -1,12 +1,28 @@
-"""Kernel registry: name → SpMV callable.
+"""Kernel registry: name → SpMV callable, plus backend selection.
 
 A thin dispatch layer so benchmarks and the engine can enumerate and
 select kernels uniformly. Each kernel takes ``(matrix, x, y=None)`` and
 returns ``y ← y + A·x``.
+
+Orthogonal to the *kernel* choice is the *backend* choice — which
+implementation substrate executes the multiply:
+
+``numpy``
+    The pure-NumPy kernels (always available, bit-stable default).
+``c``
+    The runtime-compiled kernels in :mod:`repro.kernels.cbackend`;
+    raises when no C compiler is present.
+``auto``
+    ``c`` when a compiler is available, silently ``numpy`` otherwise.
+
+The C kernels match the reference to ≤1e-12 but are **not**
+bit-identical to NumPy (different summation order), so ``numpy``
+remains the default everywhere and the compiled path is opt-in.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -15,7 +31,16 @@ from ..errors import KernelError
 
 KernelFn = Callable[..., np.ndarray]
 
+#: Valid backend selectors, in documentation order.
+BACKENDS = ("numpy", "c", "auto")
+
 _REGISTRY: dict[str, KernelFn] = {}
+
+#: old name → (new name, removal hint). Old names keep working but
+#: warn; new code should use the right-hand side.
+_DEPRECATED_ALIASES: dict[str, str] = {
+    "format_native": "format_numpy",
+}
 
 
 def register_kernel(name: str, fn: KernelFn | None = None):
@@ -25,13 +50,22 @@ def register_kernel(name: str, fn: KernelFn | None = None):
             register_kernel(name, f)
             return f
         return deco
-    if name in _REGISTRY:
+    if name in _REGISTRY or name in _DEPRECATED_ALIASES:
         raise KernelError(f"kernel {name!r} already registered")
     _REGISTRY[name] = fn
     return fn
 
 
 def get_kernel(name: str) -> KernelFn:
+    alias_target = _DEPRECATED_ALIASES.get(name)
+    if alias_target is not None:
+        warnings.warn(
+            f"kernel name {name!r} is deprecated; use "
+            f"{alias_target!r} (the kernel is NumPy, not native code)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        name = alias_target
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -41,7 +75,56 @@ def get_kernel(name: str) -> KernelFn:
 
 
 def available_kernels() -> list[str]:
-    return sorted(_REGISTRY)
+    """Registered kernel names, deprecated aliases included (so older
+    callers that check membership before dispatching keep working)."""
+    return sorted([*_REGISTRY, *_DEPRECATED_ALIASES])
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+def resolve_backend(backend: str) -> str:
+    """Resolve a backend selector to a concrete backend.
+
+    ``auto`` becomes ``c`` when the compiled backend can run here and
+    ``numpy`` otherwise; explicit ``c`` raises
+    :class:`~repro.kernels.cbackend.build.CBackendUnavailable` when it
+    cannot.
+    """
+    from .cbackend import CBackendUnavailable, c_backend_available
+
+    if backend not in BACKENDS:
+        raise KernelError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "c" if c_backend_available() else "numpy"
+    if backend == "c" and not c_backend_available():
+        raise CBackendUnavailable(
+            "backend 'c' requested but no C compiler is available "
+            "(REPRO_DISABLE_CC set, or no cc/gcc/clang on PATH)"
+        )
+    return backend
+
+
+def spmv_backend(matrix, x, y=None, *, backend: str = "numpy"):
+    """``y ← y + A·x`` on the selected backend."""
+    if resolve_backend(backend) == "c":
+        from .cbackend import spmv_c
+
+        return spmv_c(matrix, x, y)
+    return matrix.spmv(x, y)
+
+
+def spmm_backend(matrix, x, y=None, *, backend: str = "numpy"):
+    """``Y ← Y + A·X`` on the selected backend."""
+    from ..formats.multivector import spmm
+
+    if resolve_backend(backend) == "c":
+        from .cbackend import spmm_c
+
+        return spmm_c(matrix, x, y)
+    return spmm(matrix, x, y)
 
 
 # ----------------------------------------------------------------------
@@ -51,7 +134,16 @@ def _format_spmv(matrix, x, y=None):
     return matrix.spmv(x, y)
 
 
-register_kernel("format_native", _format_spmv)
+register_kernel("format_numpy", _format_spmv)
+
+
+def _format_c(matrix, x, y=None):
+    from .cbackend import spmv_c
+
+    return spmv_c(matrix, x, y)
+
+
+register_kernel("format_c", _format_c)
 
 
 def _generated(matrix, x, y=None):

@@ -3,9 +3,10 @@
 Implements the paper's §4.3 toolkit: row partitioning statically
 balanced by nonzeros (the strategy the paper exploits), column
 partitioning and a segmented-scan decomposition (described as future
-work — implemented here), NUMA-aware block-to-node assignment, and a
+work — implemented here), NUMA-aware block-to-node assignment, a
 real shared-memory multiprocessing backend for native execution on the
-host machine.
+host machine, and a thread-pool path over the GIL-free compiled C
+kernels (:mod:`repro.parallel.threaded`).
 """
 
 from .column import column_parallel_spmv, column_partition_traffic_factor
@@ -18,6 +19,7 @@ from .partition import (
 )
 from .scan import segmented_scan_spmv
 from .native import native_parallel_spmv
+from .threaded import threaded_spmm, threaded_spmv
 
 __all__ = [
     "NumaAssignment",
@@ -30,4 +32,6 @@ __all__ = [
     "partition_rows_balanced",
     "partition_rows_equal",
     "segmented_scan_spmv",
+    "threaded_spmm",
+    "threaded_spmv",
 ]

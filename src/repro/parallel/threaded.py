@@ -1,0 +1,191 @@
+"""Thread-pool SpMV/SpMM over the GIL-free compiled kernels.
+
+:mod:`repro.parallel.native` parallelizes with *forked processes*
+because NumPy kernels hold the GIL. The compiled CSR kernels in
+:mod:`repro.kernels.cbackend` release it (``ctypes`` drops the GIL for
+the duration of every foreign call), so plain threads become a real
+parallel path: no fork, no copy-on-write pages, no result shipping —
+each thread runs the kernel over a disjoint ``[r0, r1)`` row range of
+the *same* matrix, writing disjoint slices of one shared destination.
+
+Row ranges come from the same nonzero-balanced partitioner the rest of
+the parallel tier uses (the paper's static load-balancing strategy).
+Without a compiler (``REPRO_DISABLE_CC=1``) both entry points degrade
+to the serial NumPy kernel, counted in ``threaded.serial_fallbacks``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..formats.csr import CSRMatrix
+from ..observe import metrics as _metrics
+from ..observe.trace import span as _span
+from .partition import RowPartition, partition_rows_balanced
+
+
+class _RowCountsView:
+    """Adapter so the COO-based partitioner can read a CSR directly
+    (row counts are just ``diff(indptr)`` — no conversion needed)."""
+
+    def __init__(self, csr: CSRMatrix):
+        self.nrows = csr.nrows
+        self._counts = np.diff(csr.indptr)
+
+    def row_counts(self) -> np.ndarray:
+        return self._counts
+
+
+def _plan_threads(csr: CSRMatrix, n_threads: int | None,
+                  min_nnz_per_thread: int) -> int:
+    if n_threads is None:
+        n_threads = os.cpu_count() or 1
+    per_thread_cap = (csr.nnz_stored // min_nnz_per_thread
+                      if csr.nnz_stored else 1)
+    return max(1, min(n_threads, per_thread_cap, csr.nrows or 1))
+
+
+def _resolve_partition(csr: CSRMatrix, partition: RowPartition | None,
+                       n_threads: int) -> RowPartition:
+    if partition is None:
+        return partition_rows_balanced(_RowCountsView(csr), n_threads)
+    if partition.n_parts != n_threads:
+        raise PartitionError(
+            f"partition has {partition.n_parts} parts, "
+            f"expected {n_threads}"
+        )
+    return partition
+
+
+def _run_ranges(ranges, run_one, n_threads: int) -> np.ndarray:
+    """Execute ``run_one(r0, r1)`` across a pool; returns per-thread
+    wall seconds (for the imbalance gauge)."""
+    secs = np.empty(len(ranges), dtype=np.float64)
+
+    def timed(i: int) -> None:
+        t0 = time.perf_counter()
+        run_one(*ranges[i])
+        secs[i] = time.perf_counter() - t0
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        # list() propagates the first worker exception, if any.
+        list(pool.map(timed, range(len(ranges))))
+    return secs
+
+
+def _record(secs: np.ndarray, s) -> None:
+    _metrics.inc("threaded.calls")
+    for elapsed in secs:
+        _metrics.observe("threaded.worker_seconds", float(elapsed))
+    mean = float(secs.mean())
+    imbalance = float(secs.max()) / mean if mean > 0 else 1.0
+    _metrics.gauge("threaded.last_imbalance", imbalance)
+    s.set(imbalance=round(imbalance, 3))
+
+
+def threaded_spmv(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    n_threads: int | None = None,
+    partition: RowPartition | None = None,
+    min_nnz_per_thread: int = 25_000,
+) -> np.ndarray:
+    """``y ← y + A·x`` with one thread per nnz-balanced row slab.
+
+    Parameters mirror :func:`repro.parallel.native.native_parallel_spmv`
+    (``n_threads`` defaults to the CPU count, clamped so each thread
+    gets at least ``min_nnz_per_thread`` nonzeros). Results match the
+    serial compiled kernel bitwise — each row is summed by exactly one
+    thread in the same order — and match ``csr.spmv`` to ~1e-15.
+    """
+    from ..kernels.cbackend.dispatch import _kernel_for
+    from ..kernels.cbackend.build import compiler_available
+
+    x, y = csr._check_spmv_args(x, y)
+    n = _plan_threads(csr, n_threads, min_nnz_per_thread)
+    kernel = None
+    if n > 1 and compiler_available():
+        kernel = _kernel_for(csr)
+    if kernel is None or n <= 1:
+        _metrics.inc("threaded.serial_fallbacks")
+        with _span("threaded.spmv", threads=1, nnz=csr.nnz_stored):
+            return csr.spmv(x, y)
+    part = _resolve_partition(csr, partition, n)
+    xc = np.ascontiguousarray(x)
+    yc = y if y.flags.c_contiguous else np.ascontiguousarray(y)
+    args = (csr.indptr.ctypes.data, csr.indices.ctypes.data,
+            csr.data.ctypes.data, xc.ctypes.data, yc.ctypes.data)
+
+    def run_one(r0: int, r1: int) -> None:
+        kernel.spmv(*args, r0, r1)
+
+    with _span("threaded.spmv", threads=n, nnz=csr.nnz_stored) as s:
+        secs = _run_ranges(part.ranges(), run_one, n)
+        _record(secs, s)
+    if yc is not y:
+        y[...] = yc
+    return y
+
+
+def threaded_spmm(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    n_threads: int | None = None,
+    partition: RowPartition | None = None,
+    min_nnz_per_thread: int = 25_000,
+) -> np.ndarray:
+    """``Y ← Y + A·X`` threaded over row slabs via the fused kernel.
+
+    ``X`` is ``(ncols, k)``; each thread streams its row slab once for
+    all ``k`` right-hand sides. Falls back to the serial NumPy SpMM
+    when the compiled backend is unavailable.
+    """
+    from ..formats.multivector import spmm as _np_spmm
+    from ..kernels.cbackend.dispatch import _kernel_for
+    from ..kernels.cbackend.build import compiler_available
+
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[0] != csr.ncols:
+        raise ValueError(
+            f"X must have shape ({csr.ncols}, k), got {x.shape}"
+        )
+    k = x.shape[1]
+    if y is None:
+        y = np.zeros((csr.nrows, k), dtype=np.float64)
+    elif y.shape != (csr.nrows, k):
+        raise ValueError(
+            f"Y must have shape ({csr.nrows}, {k}), got {y.shape}"
+        )
+    n = _plan_threads(csr, n_threads, min_nnz_per_thread)
+    kernel = None
+    if n > 1 and compiler_available():
+        kernel = _kernel_for(csr)
+    if kernel is None or n <= 1:
+        _metrics.inc("threaded.serial_fallbacks")
+        with _span("threaded.spmm", threads=1, nnz=csr.nnz_stored):
+            return _np_spmm(csr, x, y)
+    part = _resolve_partition(csr, partition, n)
+    xc = np.ascontiguousarray(x)
+    yc = y if y.flags.c_contiguous else np.ascontiguousarray(y)
+    args = (csr.indptr.ctypes.data, csr.indices.ctypes.data,
+            csr.data.ctypes.data, xc.ctypes.data, yc.ctypes.data)
+
+    def run_one(r0: int, r1: int) -> None:
+        kernel.spmm(*args, r0, r1, k)
+
+    with _span("threaded.spmm", threads=n, nnz=csr.nnz_stored,
+               k=k) as s:
+        secs = _run_ranges(part.ranges(), run_one, n)
+        _record(secs, s)
+    if yc is not y:
+        y[...] = yc
+    return y

@@ -95,6 +95,7 @@ class ServeClient:
         shards: int | None = None,
         shard_threshold_bytes: int = 4 << 20,
         shard_partition: str = "row",
+        backend: str = "numpy",
     ):
         if isinstance(machine, str):
             machine = get_machine(machine)
@@ -113,12 +114,14 @@ class ServeClient:
             from ..dist import ShardGroup
             self.shard_group = ShardGroup(
                 shards, partition=shard_partition, k_cap=max_batch,
+                backend=backend,
             )
         self.registry = MatrixRegistry(
             machine, n_threads=n_threads,
             capacity_bytes=capacity_bytes, plan_cache=plan_cache,
             shard_group=self.shard_group,
             shard_threshold_bytes=shard_threshold_bytes,
+            backend=backend,
         )
         # Pool sized to the machine model being served: SpMV batches
         # saturate its modeled core count, more threads just queue.

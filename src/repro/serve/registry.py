@@ -70,6 +70,7 @@ class RegistryEntry:
             "nnz": self.nnz,
             "footprint_bytes": self.footprint_bytes,
             "n_threads": self.plan.n_threads,
+            "backend": self.plan.backend,
             "plan_cache_hit": self.from_plan_cache,
             "hits": self.hits,
             "sharded": self.sharded,
@@ -88,13 +89,19 @@ class MatrixRegistry:
         plan_cache: PlanCache | None = None,
         shard_group=None,
         shard_threshold_bytes: int = 0,
+        backend: str = "numpy",
     ):
+        from ..kernels.registry import resolve_backend
+
         self.machine = machine
         self.engine = SpmvEngine(machine)
         self.n_threads = n_threads if n_threads is not None \
             else machine.n_cores
         if self.n_threads < 1:
             raise ServeError("registry needs >= 1 thread")
+        #: Execution backend stamped into every plan this registry
+        #: produces ("auto" resolves here, once, against this host).
+        self.backend = resolve_backend(backend)
         self.capacity_bytes = capacity_bytes
         self.plan_cache = plan_cache
         self.shard_group = shard_group
@@ -162,9 +169,17 @@ class MatrixRegistry:
                     plan = None
             from_cache = plan is not None
             if plan is None:
-                plan = self.engine.plan(coo, n_threads=threads)
+                plan = self.engine.plan(coo, n_threads=threads,
+                                        backend=self.backend)
                 if self.plan_cache is not None:
                     self.plan_cache.store(fingerprint, plan)
+            elif plan.backend != self.backend:
+                # A cached plan is structurally valid for any backend —
+                # the backend only selects the execution substrate — so
+                # restamp rather than replan.
+                import dataclasses
+
+                plan = dataclasses.replace(plan, backend=self.backend)
             with _span("serve.materialize", fingerprint=fingerprint):
                 matrix = plan.materialize(coo)
             entry = RegistryEntry(
@@ -219,6 +234,7 @@ class MatrixRegistry:
             return {
                 "machine": self.machine.name,
                 "n_threads": self.n_threads,
+                "backend": self.backend,
                 "matrices": len(self._entries),
                 "total_bytes": self._total_bytes,
                 "capacity_bytes": self.capacity_bytes,

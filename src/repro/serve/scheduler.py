@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ServeAdmissionError, ServeError
-from ..formats.multivector import spmm
+from ..kernels.registry import spmm_backend, spmv_backend
 from ..observe import metrics as _metrics
 from ..observe.trace import span as _span
 from .registry import RegistryEntry
@@ -131,9 +131,14 @@ class BatchScheduler:
         entry, requests = group.entry, group.requests
         k = len(requests)
         sharded = entry.sharded and entry.shard_group is not None
+        # Plans carry their execution backend; compiled-path batches
+        # are counted separately so /metrics shows where flops run.
+        # (entry.plan may be None for ad-hoc entries — treat as numpy.)
+        backend = entry.plan.backend if entry.plan is not None \
+            else "numpy"
         try:
             with _span("serve.batch", fingerprint=entry.fingerprint,
-                       batch_size=k, sharded=sharded):
+                       batch_size=k, sharded=sharded, backend=backend):
                 if sharded:
                     # Shard-backed matrix: the batch executes on the
                     # persistent workers (slabs already resident in
@@ -150,12 +155,16 @@ class BatchScheduler:
                               for j in range(k)]
                     _metrics.inc("serve.sharded_batches")
                 elif k == 1:
-                    ys = [entry.matrix.spmv(requests[0].x)]
+                    ys = [spmv_backend(entry.matrix, requests[0].x,
+                                       backend=backend)]
                 else:
                     x_block = np.stack([r.x for r in requests], axis=1)
-                    y_block = spmm(entry.matrix, x_block)
+                    y_block = spmm_backend(entry.matrix, x_block,
+                                           backend=backend)
                     ys = [np.ascontiguousarray(y_block[:, j])
                           for j in range(k)]
+                if backend == "c" and not sharded:
+                    _metrics.inc("serve.c_backend_batches")
             _metrics.inc("serve.batches")
             _metrics.inc("serve.kernel_invocations")
             _metrics.inc("serve.batched_requests", k)
