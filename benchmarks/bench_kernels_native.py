@@ -167,6 +167,48 @@ def _snapshot(iters: int) -> dict:
     return result
 
 
+def _diff_baseline(snap: dict, path: str, ratio: float) -> list[str]:
+    """Compare a fresh snapshot against the committed baseline.
+
+    Absolute wall times are not portable across hosts, so the diff is
+    over the *hardware-normalized* figure: the C-vs-NumPy speedup,
+    which divides out memory bandwidth. A regression is only flagged
+    when the speedup falls below ``baseline / ratio`` (generous by
+    design — CI runners are noisy), or when the benchmark shape (case,
+    scale, nnz) silently drifted from what the baseline measured."""
+    import json
+
+    with open(path) as f:
+        base = json.load(f)
+    problems = []
+    for key in ("case", "scale", "nnz"):
+        if snap.get(key) != base.get(key):
+            problems.append(
+                f"benchmark shape drifted: {key} is {snap.get(key)!r}, "
+                f"baseline has {base.get(key)!r} — regenerate "
+                f"{path} in the same change"
+            )
+    if "speedup" in base:
+        if "speedup" not in snap:
+            problems.append(
+                "baseline has a C-backend speedup but this run could "
+                "not build the C backend"
+            )
+        else:
+            floor = base["speedup"] / ratio
+            if snap["speedup"] < floor:
+                problems.append(
+                    f"speedup {snap['speedup']:.2f}x regressed below "
+                    f"{floor:.2f}x (baseline {base['speedup']:.2f}x "
+                    f"/ tolerance {ratio:.1f})"
+                )
+            else:
+                print(f"baseline diff ok: {snap['speedup']:.2f}x vs "
+                      f"committed {base['speedup']:.2f}x "
+                      f"(floor {floor:.2f}x)")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     import argparse
     import json
@@ -180,6 +222,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--iters", type=int, default=50)
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="fail unless C beats NumPy by this factor")
+    ap.add_argument("--baseline", metavar="FILE", default=None,
+                    help="diff against a committed snapshot "
+                         "(hardware-normalized speedup comparison)")
+    ap.add_argument("--baseline-ratio", type=float, default=2.0,
+                    help="tolerated speedup shrink factor vs the "
+                         "baseline (default 2.0)")
     args = ap.parse_args(argv)
     snap = _snapshot(args.iters)
     print(json.dumps(snap, indent=2))
@@ -194,6 +242,13 @@ def main(argv: list[str] | None = None) -> int:
         if snap["speedup"] < args.min_speedup:
             print(f"speedup {snap['speedup']:.2f}x is below the "
                   f"{args.min_speedup:.2f}x gate", file=sys.stderr)
+            return 1
+    if args.baseline is not None:
+        problems = _diff_baseline(snap, args.baseline,
+                                  args.baseline_ratio)
+        for p in problems:
+            print(p, file=sys.stderr)
+        if problems:
             return 1
     return 0
 

@@ -11,6 +11,10 @@ stats MATRIX        Bottleneck-attribution table over the sweep ladder.
 info FILE           Structure report for a MatrixMarket/.npz file.
 validate            Analytic-vs-exact cache traffic validation sweep.
 serve               Long-running batched SpMV HTTP service.
+trace TRACE_ID      Fetch one request's merged span tree (HTTP →
+                    scheduler → worker → shard children) from a
+                    running server and render it as an ASCII tree;
+                    ``--slow`` lists recent SLO outliers instead.
 plan-cache          Inspect or clear the on-disk tuned-plan cache.
 dist-bench          Shards × matrix sweep over the sharded-execution
                     tier (per-shard imbalance, effective GFLOP/s).
@@ -282,6 +286,8 @@ def _cmd_serve(args) -> int:
         shards=args.shards,
         shard_threshold_bytes=int(args.shard_threshold_mb * 1e6),
         backend=args.backend,
+        trace_sample_rate=args.trace_sample_rate,
+        slo_ms=args.slo_ms,
     )
     httpd = ServeHTTPServer((args.host, args.port), client)
     print(
@@ -297,6 +303,79 @@ def _cmd_serve(args) -> int:
     finally:
         httpd.server_close()
         client.close()
+    return 0
+
+
+def _render_span_tree(nodes: list, indent: str = "") -> list[str]:
+    lines = []
+    for i, nd in enumerate(nodes):
+        last = i == len(nodes) - 1
+        branch = "`- " if last else "|- "
+        extras = " ".join(
+            f"{k}={v}" for k, v in sorted(nd.get("args", {}).items())
+            if v not in ("", None, [])
+        )
+        lines.append(
+            f"{indent}{branch}{nd['name']}  "
+            f"{nd.get('dur_us', 0.0) / 1e3:.3f} ms  "
+            f"pid={nd.get('pid', '?')}"
+            + (f"  [{extras}]" if extras else "")
+        )
+        lines.extend(_render_span_tree(
+            nd.get("children", []),
+            indent + ("   " if last else "|  "),
+        ))
+    return lines
+
+
+def _cmd_trace(args) -> int:
+    """Fetch and render a merged span tree (or the slow-request list)
+    from a running ``repro serve`` instance."""
+    import json as _json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    base = args.url.rstrip("/")
+    if args.slow:
+        url = f"{base}/v1/debug/slow"
+    elif args.trace_id:
+        url = f"{base}/v1/debug/trace/{args.trace_id}"
+    else:
+        print("need a TRACE_ID (or --slow)", file=sys.stderr)
+        return 2
+    try:
+        with urlopen(url, timeout=args.timeout) as resp:
+            body = _json.load(resp)
+    except HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"server answered {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except (URLError, OSError, ValueError) as exc:
+        print(f"cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(body, indent=2))
+        return 0
+    if args.slow:
+        slow = body.get("slow", [])
+        if not slow:
+            print("(no slow requests recorded)")
+            return 0
+        rows = [
+            [s["trace_id"] or "-", s["op"], s["fingerprint"],
+             s["total_ms"], s["threshold_ms"],
+             " ".join(f"{k}={v}" for k, v in s["phases_ms"].items())]
+            for s in slow
+        ]
+        print(format_table(
+            ["trace", "op", "matrix", "ms", "slo ms", "phases (ms)"],
+            rows, title=f"recent SLO outliers at {base}",
+        ))
+        return 0
+    spans = body.get("spans", [])
+    print(f"trace {body.get('trace_id', args.trace_id)}")
+    for line in _render_span_tree(spans):
+        print(line)
     return 0
 
 
@@ -583,6 +662,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="execution backend (c = runtime-compiled "
                          "kernels; auto falls back to numpy without "
                          "a compiler)")
+    sp.add_argument("--trace-sample-rate", type=float, default=0.0,
+                    help="fraction of requests recording full span "
+                         "trees (0 disables; outliers force-sample "
+                         "regardless)")
+    sp.add_argument("--slo-ms", type=float, default=None,
+                    help="explicit latency SLO; slower requests are "
+                         "sampled and listed at /v1/debug/slow")
+
+    sp = sub.add_parser(
+        "trace",
+        help="fetch a merged span tree from a running server",
+        parents=[common],
+    )
+    sp.add_argument("trace_id", nargs="?", default=None,
+                    help="trace id (from X-Repro-Trace or "
+                         "/v1/debug/slow)")
+    sp.add_argument("--url", default="http://127.0.0.1:8377",
+                    help="base URL of the repro serve instance")
+    sp.add_argument("--slow", action="store_true",
+                    help="list recent SLO outliers instead")
+    sp.add_argument("--json", action="store_true",
+                    help="print the raw JSON response")
+    sp.add_argument("--timeout", type=float, default=5.0)
 
     sp = sub.add_parser(
         "dist-bench",
@@ -649,6 +751,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "figures": _cmd_figures,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "plan-cache": _cmd_plan_cache,
     "dist-bench": _cmd_dist_bench,
     "bench": _cmd_bench,

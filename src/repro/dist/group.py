@@ -37,6 +37,17 @@ its resident slabs (a re-attach — the parent still owns the segments,
 so no data is recopied), and retries the dispatch under the bounded
 :class:`~repro.dist.fault.RetryPolicy`. ``dist.respawns``,
 ``dist.reships`` and ``dist.retries`` count the recoveries.
+
+Observability (v2): each worker also gets a one-way telemetry pipe
+(drained by a group-wide :class:`~repro.dist.fault.TelemetryCollector`
+that merges child metric deltas into the parent registry — a respawned
+shard hands its replacement pipe to the same collector) and a JSONL
+span-ring file under the group's spool directory. When the caller's
+:class:`~repro.observe.context.TraceContext` is sampled, ``compute``
+dispatches carry it, shards record ``shard.compute`` spans into their
+rings, and :meth:`ShardGroup.collate_trace` stitches them back into
+the request's span tree. Per-dispatch ``dist.phase_seconds`` and the
+``dist.compute_imbalance`` gauge attribute where group time goes.
 """
 
 from __future__ import annotations
@@ -44,6 +55,9 @@ from __future__ import annotations
 import atexit
 import itertools
 import multiprocessing as mp
+import os
+import shutil
+import tempfile
 import threading
 import time
 import weakref
@@ -53,14 +67,16 @@ import numpy as np
 from ..errors import DistError, ShardDeadError
 from ..formats.convert import coo_to_csr
 from ..formats.csr import CSRMatrix
+from ..observe import context as _context
 from ..observe import metrics as _metrics
-from ..observe.trace import span as _span
+from ..observe import ring as _ring
+from ..observe.trace import SpanEvent, span as _span
 from ..parallel.partition import (
     RowPartition,
     partition_cols_balanced,
     partition_rows_balanced,
 )
-from .fault import HeartbeatMonitor, RetryPolicy
+from .fault import HeartbeatMonitor, RetryPolicy, TelemetryCollector
 from .shard import shard_main
 from .shm import SegmentArena
 
@@ -117,13 +133,20 @@ def _close_live_groups() -> None:  # pragma: no cover - interpreter exit
             pass
 
 
-def _cleanup(monitor, shards: list, records: dict, hb_arena) -> None:
+def _cleanup(monitor, collector, shards: list, records: dict, hb_arena,
+             spool_dir) -> None:
     """Last-resort teardown shared by ``close()``, the per-group
-    ``weakref.finalize``, and the atexit sweep: stop the monitor, kill
-    workers, unlink every owned segment. Must not reference the group.
+    ``weakref.finalize``, and the atexit sweep: stop the monitor and
+    telemetry collector, kill workers, unlink every owned segment,
+    remove the span spool. Must not reference the group.
     """
     if monitor is not None:
         monitor.stop()
+    if collector is not None:
+        try:
+            collector.stop(final_drain=True)
+        except Exception:
+            pass
     for h in shards:
         try:
             if h.proc.is_alive():
@@ -139,6 +162,8 @@ def _cleanup(monitor, shards: list, records: dict, hb_arena) -> None:
         rec.arena.unlink_all()
     records.clear()
     hb_arena.unlink_all()
+    if spool_dir is not None:
+        shutil.rmtree(spool_dir, ignore_errors=True)
 
 
 class ShardGroup:
@@ -189,18 +214,26 @@ class ShardGroup:
                 (1,), np.float64
             )
             self._monitor = None
+            self._collector = None
+            self._spool_dir = None
         else:
             self._ctx = mp.get_context("fork")
             self._hb_view, self._hb_spec = self._hb_arena.create(
                 (n_shards,), np.float64
             )
+            self._spool_dir = tempfile.mkdtemp(
+                prefix="repro-dist-spool-"
+            )
+            self._collector = TelemetryCollector()
+            self._collector.start()
             for i in range(n_shards):
                 self._shards.append(self._spawn(i))
             self._monitor = HeartbeatMonitor(self, heartbeat_interval_s)
             self._monitor.start()
         self._finalizer = weakref.finalize(
-            self, _cleanup, self._monitor, self._shards, self._records,
-            self._hb_arena,
+            self, _cleanup, self._monitor, self._collector,
+            self._shards, self._records, self._hb_arena,
+            self._spool_dir,
         )
         _LIVE_GROUPS.add(self)
         _metrics.inc("dist.groups_started")
@@ -210,16 +243,27 @@ class ShardGroup:
     # -------------------------------------------------------- lifecycle
     def _spawn(self, shard_id: int) -> _ShardHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # Dedicated one-way telemetry pipe: the control pipe's
+        # _recv_matching drops non-matching messages, so metric deltas
+        # must never ride it.
+        tele_recv, tele_send = self._ctx.Pipe(duplex=False)
+        # Rings are per shard *slot*, not per process: a respawned
+        # shard appends to the same file, so a trace spanning a crash
+        # still collates from one place.
+        ring_path = os.path.join(self._spool_dir,
+                                 f"shard-{shard_id}.jsonl")
         self._hb_view[shard_id] = time.monotonic()
         proc = self._ctx.Process(
             target=shard_main,
             args=(shard_id, child_conn, self._hb_spec,
-                  self.heartbeat_interval_s),
+                  self.heartbeat_interval_s, tele_send, ring_path),
             name=f"dist-shard-{shard_id}",
             daemon=True,
         )
         proc.start()
         child_conn.close()
+        tele_send.close()
+        self._collector.add_conn(shard_id, tele_recv)
         _metrics.inc("dist.shards_spawned")
         return _ShardHandle(shard_id, proc, parent_conn)
 
@@ -242,6 +286,10 @@ class ShardGroup:
         deadline = time.monotonic() + 2.0
         for h in self._shards:
             h.proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+        # Children flushed a final metrics delta on their way out;
+        # absorb it before the finalizer tears the pipes down.
+        if self._collector is not None:
+            self._collector.stop(final_drain=True)
         self._finalizer()   # idempotent: terminate stragglers + unlink
         _metrics.gauge("dist.shards_alive", 0)
         _metrics.gauge("dist.registered_matrices", 0)
@@ -425,13 +473,24 @@ class ShardGroup:
                       seq: int) -> None:
         fp = rec.fingerprint
         handles = [self._shards[sid] for sid in rec.active]
+        # Propagate the caller's trace context only when it is sampled:
+        # the common unsampled path keeps the dispatch tuple at its
+        # 4-element steady-state shape.
+        ctx = _context.current()
+        tctx = ctx.to_dict() if ctx is not None and ctx.sampled \
+            else None
+        t0 = time.perf_counter()
         for h in handles:
             try:
-                h.conn.send(("compute", fp, k, seq))
+                if tctx is not None:
+                    h.conn.send(("compute", fp, k, seq, tctx))
+                else:
+                    h.conn.send(("compute", fp, k, seq))
             except (BrokenPipeError, OSError) as exc:
                 raise ShardDeadError(
                     f"shard {h.id} died before dispatch"
                 ) from exc
+        busy: list[float] = []
         for h in handles:
             msg = self._recv_matching(
                 h, lambda m: m[0] in ("done", "err")
@@ -441,8 +500,17 @@ class ShardGroup:
                 raise DistError(
                     f"shard {h.id} failed computing {fp}: {msg[3]}"
                 )
+            busy.append(float(msg[3]))
             _metrics.inc("dist.shard_busy_seconds", float(msg[3]),
                          shard=h.id)
+        _metrics.observe("dist.phase_seconds",
+                         time.perf_counter() - t0, phase="compute")
+        if busy:
+            mean = sum(busy) / len(busy)
+            _metrics.gauge(
+                "dist.compute_imbalance",
+                max(busy) / mean if mean > 0 else 1.0,
+            )
         _metrics.inc("dist.compute_dispatches")
 
     def _dispatch_locked(self, rec: _ShardedMatrix, k: int) -> None:
@@ -508,7 +576,7 @@ class ShardGroup:
                        shards=len(rec.active)):
                 rec.x_view[:, 0] = x
                 self._dispatch_locked(rec, 1)
-                return self._gather(rec, 0, 1)[:, 0]
+                return self._gather_timed(rec, 0, 1)[:, 0]
 
     def spmm(self, fingerprint: str, x_block: np.ndarray) -> np.ndarray:
         """``Y = A·X`` for ``X`` of shape ``(ncols, k)``; batches wider
@@ -537,8 +605,16 @@ class ShardGroup:
                     kk = min(rec.k_cap, k - j0)
                     rec.x_view[:, :kk] = x_block[:, j0:j0 + kk]
                     self._dispatch_locked(rec, kk)
-                    out[:, j0:j0 + kk] = self._gather(rec, 0, kk)
+                    out[:, j0:j0 + kk] = self._gather_timed(rec, 0, kk)
             return out
+
+    def _gather_timed(self, rec: _ShardedMatrix, j0: int,
+                      k: int) -> np.ndarray:
+        t0 = time.perf_counter()
+        out = self._gather(rec, j0, k)
+        _metrics.observe("dist.phase_seconds",
+                         time.perf_counter() - t0, phase="gather")
+        return out
 
     def _gather(self, rec: _ShardedMatrix, j0: int, k: int) -> np.ndarray:
         if rec.path == "row":
@@ -558,6 +634,18 @@ class ShardGroup:
                 f"register it with the shard group first"
             )
         return rec
+
+    # ---------------------------------------------------------- tracing
+    def collate_trace(self, trace_id: str | None = None
+                      ) -> list[SpanEvent]:
+        """Spans the shard children recorded into their ring files,
+        optionally filtered to one trace. Rings are plain JSONL on the
+        parent's filesystem, so this reads without bothering the
+        workers; torn tail lines from a mid-append crash are skipped.
+        """
+        if self._spool_dir is None:
+            return []
+        return _ring.collate(self._spool_dir, trace_id=trace_id)
 
     # -------------------------------------------------------- operators
     def operator(self, fingerprint: str) -> "ShardOperator":

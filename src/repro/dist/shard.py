@@ -1,4 +1,4 @@
-"""Shard worker process: hold slabs, compute, heartbeat.
+"""Shard worker process: hold slabs, compute, heartbeat, telemetry.
 
 Each shard is a long-lived process the :class:`~repro.dist.group.
 ShardGroup` forks once. Its loop is a tiny command interpreter over a
@@ -12,13 +12,25 @@ first touched it" discipline.
 Protocol (parent → shard / shard → parent)::
 
     ("register", mid, payload)        -> ("ok", "register", mid, id)
-    ("compute", mid, k, seq)          -> ("done", mid, seq, seconds)
+    ("compute", mid, k, seq[, tctx])  -> ("done", mid, seq, seconds)
                                        | ("err", mid, seq, message)
     ("unregister", mid)               -> ("ok", "unregister", mid, id)
     ("exit",)                         -> (no reply; process exits 0)
 
 ``seq`` tags each dispatch round so the parent can discard stale
-replies after a respawn-and-retry cycle.
+replies after a respawn-and-retry cycle. ``tctx`` (optional) is a
+propagated :class:`~repro.observe.context.TraceContext` dict: when
+present and sampled, the shard records a ``shard.compute`` span into
+its JSONL ring file, which the parent collates into the request's
+merged span tree.
+
+Observability (v2): alongside the command pipe each shard holds a
+one-way *telemetry* pipe. A :class:`~repro.observe.flush.DeltaFlusher`
+daemon periodically ships this process's registry growth —
+``dist.child_computes{shard=i}``, ``dist.child_compute_seconds``
+histograms, ... — to the parent, which merges them so ``/metrics``
+reflects the whole group. The fork-inherited registry image is the
+flusher's baseline, so parent counters are never double-reported.
 """
 
 from __future__ import annotations
@@ -27,9 +39,12 @@ import signal
 import threading
 import time
 
-import numpy as np
-
 from ..formats.multivector import spmm
+from ..observe import context as _context
+from ..observe import metrics as _metrics
+from ..observe import trace as _trace
+from ..observe.flush import DeltaFlusher
+from ..observe.ring import SpanRing
 from .shm import SegmentSpec, attach_array, attach_csr
 
 
@@ -89,8 +104,29 @@ def _beat(spec: SegmentSpec, shard_id: int, interval_s: float,
         handle.close()
 
 
+def _run_compute(resident: _ResidentMatrix, shard_id: int, mid: str,
+                 k: int, tctx: dict | None) -> float:
+    """One compute round, with child-side accounting and (when the
+    propagated context is sampled) a ring-recorded span."""
+    ctx = _context.from_dict(tctx)
+    t0 = time.perf_counter()
+    if ctx is not None and ctx.sampled:
+        with _context.use(ctx):
+            with _trace.span("shard.compute", shard=shard_id,
+                             fingerprint=mid, k=k,
+                             path=resident.path):
+                resident.compute(k)
+    else:
+        resident.compute(k)
+    dt = time.perf_counter() - t0
+    _metrics.inc("dist.child_computes", shard=shard_id)
+    _metrics.observe("dist.child_compute_seconds", dt, shard=shard_id)
+    return dt
+
+
 def shard_main(shard_id: int, conn, hb_spec: SegmentSpec,
-               hb_interval_s: float) -> None:
+               hb_interval_s: float, telemetry=None, ring_path=None,
+               flush_interval_s: float = 0.25) -> None:
     """Entry point of a shard worker process."""
     # Shards share the terminal's foreground process group, so a Ctrl-C
     # aimed at the parent would interrupt conn.recv() with a traceback.
@@ -100,6 +136,18 @@ def shard_main(shard_id: int, conn, hb_spec: SegmentSpec,
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic hosts
         pass
+    # Fork copies the parent's span sink (its TraceHub) — replace it
+    # with this shard's ring file (or nothing): a child must never
+    # accumulate spans into a hub nobody reads.
+    ring = SpanRing(ring_path) if ring_path is not None else None
+    _trace.set_span_sink(ring.append if ring is not None else None)
+    flusher = None
+    if telemetry is not None:
+        flusher = DeltaFlusher(
+            telemetry, _metrics.get_registry(), ident=shard_id,
+            interval_s=flush_interval_s,
+        )
+        flusher.start()
     stop = threading.Event()
     threading.Thread(
         target=_beat, args=(hb_spec, shard_id, hb_interval_s, stop),
@@ -129,20 +177,24 @@ def shard_main(shard_id: int, conn, hb_spec: SegmentSpec,
                     old.close()
                 conn.send(("ok", "unregister", mid, shard_id))
             elif op == "compute":
-                _, mid, k, seq = msg
-                t0 = time.perf_counter()
+                mid, k, seq = msg[1], msg[2], msg[3]
+                tctx = msg[4] if len(msg) > 4 else None
                 try:
-                    resident[mid].compute(int(k))
+                    dt = _run_compute(resident[mid], shard_id, mid,
+                                      int(k), tctx)
                 except Exception as exc:
                     conn.send(("err", mid, seq, f"{type(exc).__name__}: "
                                                 f"{exc}"))
                 else:
-                    conn.send(("done", mid, seq,
-                               time.perf_counter() - t0))
+                    conn.send(("done", mid, seq, dt))
             else:
                 conn.send(("err", None, None, f"unknown op {op!r}"))
     finally:
         stop.set()
+        if flusher is not None:
+            flusher.stop(final_flush=True)
+        if ring is not None:
+            ring.close()
         for m in resident.values():
             m.close()
         try:

@@ -15,6 +15,18 @@ the same way:
   streams into per-machine/per-matrix bottleneck tables (memory vs
   compute vs latency time shares, imbalance, cache residency) — the
   paper's §6 narrative as data.
+
+The cross-process observability plane (v2) adds:
+
+* :mod:`.context` — :class:`TraceContext` carried on serve requests
+  (HTTP header, control messages) so one request yields one span tree;
+* :mod:`.hub` — the parent-side bounded per-trace span store with
+  tree/Chrome exports;
+* :mod:`.ring` — per-shard JSONL span ring files the parent collates;
+* :mod:`.flush` — child registry deltas flushed over telemetry pipes
+  and merged into the parent registry (``/metrics`` sees the group);
+* :mod:`.slo` — fixed-bucket phase latency accounting and the p99
+  slow-request sampler.
 """
 
 from .attribution import (
@@ -24,7 +36,18 @@ from .attribution import (
     attribute,
     bottleneck_shares,
 )
-from .metrics import MetricsRegistry, get_registry, render_prometheus
+from .context import TRACE_HEADER, TraceContext, from_header, new_trace
+from .flush import DeltaFlusher, diff_flat
+from .hub import TraceHub, get_hub, install_hub, uninstall_hub
+from .metrics import (
+    DEFAULT_BUCKETS,
+    HistogramSummary,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from .ring import SpanRing, collate, read_ring
+from .slo import SloTracker, SlowSample
 from .trace import (
     NULL_SPAN,
     SpanEvent,
@@ -34,6 +57,7 @@ from .trace import (
     get_tracer,
     is_enabled,
     read_trace,
+    set_span_sink,
     span,
 )
 
@@ -41,18 +65,36 @@ __all__ = [
     "AttributionRecord",
     "BottleneckAttribution",
     "BottleneckShares",
+    "DEFAULT_BUCKETS",
+    "DeltaFlusher",
+    "HistogramSummary",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SloTracker",
+    "SlowSample",
     "SpanEvent",
+    "SpanRing",
+    "TRACE_HEADER",
+    "TraceContext",
+    "TraceHub",
     "Tracer",
     "attribute",
     "bottleneck_shares",
+    "collate",
+    "diff_flat",
     "disable",
     "enable",
+    "from_header",
+    "get_hub",
     "get_registry",
     "get_tracer",
+    "install_hub",
     "is_enabled",
+    "new_trace",
+    "read_ring",
     "read_trace",
     "render_prometheus",
+    "set_span_sink",
     "span",
+    "uninstall_hub",
 ]

@@ -1,0 +1,127 @@
+"""Trace context: the identity a request carries across every hop.
+
+A :class:`TraceContext` is three small facts — ``trace_id`` (one per
+end-to-end request), ``span_id`` (the currently open span, i.e. the
+parent of whatever opens next), and a ``sampled`` bit deciding whether
+spans along this request are recorded at all. It propagates:
+
+* **within a process** through a :mod:`contextvars` variable (so it
+  survives nested calls and ``contextvars``-aware executors);
+* **across threads** explicitly — hand the context to the worker and
+  re-enter it with :func:`use` (thread pools don't inherit it);
+* **across the HTTP boundary** as the ``X-Repro-Trace`` header
+  (:meth:`TraceContext.to_header` / :func:`from_header`);
+* **across processes** as a plain dict riding a control message
+  (:meth:`TraceContext.to_dict` / :func:`from_dict`) — the dist tier
+  appends it to ``compute`` dispatches so shard children stitch their
+  spans into the same tree.
+
+The hot-path contract: when no context is installed, :func:`current`
+is a single ``ContextVar.get`` returning ``None`` — cheap enough for
+the serve request path to ask on every span.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+from dataclasses import dataclass, replace
+
+#: HTTP header carrying the context (W3C ``traceparent``-shaped, but
+#: deliberately minimal: ``<trace_id>-<span_id>-<01|00>``).
+TRACE_HEADER = "X-Repro-Trace"
+
+_CURRENT: contextvars.ContextVar["TraceContext | None"] = \
+    contextvars.ContextVar("repro_trace_context", default=None)
+
+
+def _new_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable trace identity for one request."""
+
+    trace_id: str          #: 16 hex chars, one per end-to-end request
+    span_id: str           #: 8 hex chars, the currently open span
+    sampled: bool = True   #: record spans along this request?
+
+    # ------------------------------------------------------- derivation
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — what an opening span becomes."""
+        return replace(self, span_id=_new_id(4))
+
+    # ------------------------------------------------------------ wire
+    def to_header(self) -> str:
+        return (f"{self.trace_id}-{self.span_id}-"
+                f"{'01' if self.sampled else '00'}")
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "sampled": self.sampled}
+
+
+def new_trace(*, sampled: bool = True) -> TraceContext:
+    """A fresh root context (new trace id, new root span id)."""
+    return TraceContext(_new_id(8), _new_id(4), sampled)
+
+
+def from_header(value: str | None) -> TraceContext | None:
+    """Parse ``X-Repro-Trace``; malformed or absent headers yield
+    ``None`` (never an exception — the header is caller-controlled)."""
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 3:
+        return None
+    trace_id, span_id, flags = parts
+    if not trace_id or not span_id:
+        return None
+    try:
+        int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    return TraceContext(trace_id, span_id, flags == "01")
+
+
+def from_dict(d: dict | None) -> TraceContext | None:
+    if not d:
+        return None
+    try:
+        return TraceContext(str(d["trace_id"]), str(d["span_id"]),
+                            bool(d.get("sampled", True)))
+    except (KeyError, TypeError):
+        return None
+
+
+# ---------------------------------------------------------------------
+# In-process propagation.
+# ---------------------------------------------------------------------
+def current() -> TraceContext | None:
+    """The context installed in this execution context, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use(ctx: TraceContext | None):
+    """Install ``ctx`` for the duration of the block (``None`` clears).
+
+    Yields the context, so ``with use(new_trace()) as ctx: ...`` reads
+    naturally when a root is created at a boundary.
+    """
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def _set(ctx: TraceContext | None) -> contextvars.Token:
+    """Low-level set (for span nesting); pair with :func:`_reset`."""
+    return _CURRENT.set(ctx)
+
+
+def _reset(token: contextvars.Token) -> None:
+    _CURRENT.reset(token)

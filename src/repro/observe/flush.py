@@ -1,0 +1,120 @@
+"""Cross-process metrics flushing: child deltas → parent registry.
+
+A shard (or any forked worker) increments counters in its *own*
+process-local :class:`~repro.observe.metrics.MetricsRegistry`; the
+parent's ``/metrics`` endpoint would never see them. This module
+closes that gap with a mailbox protocol over a dedicated telemetry
+pipe:
+
+* the child runs a :class:`DeltaFlusher` daemon thread that
+  periodically snapshots its registry (:meth:`MetricsRegistry.
+  snapshot_flat`), diffs against the previous flush
+  (:func:`diff_flat`), and sends only the delta — counters as
+  increments, gauges as last-value, histograms as mergeable bucket
+  aggregates — as a ``("metrics", ident, delta)`` tuple;
+* the parent (the :class:`~repro.dist.fault.TelemetryCollector`
+  thread) folds each delta into the global registry with
+  :meth:`MetricsRegistry.merge_flat`.
+
+Deltas are idempotent-safe in the fork direction: the child's baseline
+is captured at flusher start, so registry state inherited from the
+parent's fork image is never re-reported.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .metrics import MetricsRegistry
+
+
+def diff_flat(cur: dict, prev: dict) -> dict:
+    """The change between two :meth:`MetricsRegistry.snapshot_flat`
+    snapshots, in mergeable form. Empty sections are omitted; an empty
+    dict means "nothing to flush"."""
+    delta: dict = {}
+    counters = {
+        k: v - prev.get("counters", {}).get(k, 0.0)
+        for k, v in cur.get("counters", {}).items()
+        if v != prev.get("counters", {}).get(k, 0.0)
+    }
+    if counters:
+        delta["counters"] = counters
+    gauges = {
+        k: v for k, v in cur.get("gauges", {}).items()
+        if v != prev.get("gauges", {}).get(k)
+    }
+    if gauges:
+        delta["gauges"] = gauges
+    hists = {}
+    for k, flat in cur.get("hists", {}).items():
+        p = prev.get("hists", {}).get(k)
+        if p is None:
+            hists[k] = flat
+            continue
+        dcount = flat[0] - p[0]
+        if not dcount:
+            continue
+        # min/max travel as the *new* extremes; merge() takes min/max
+        # so re-sending an old extreme is harmless.
+        hists[k] = [
+            dcount, flat[1] - p[1], flat[2], flat[3],
+            [a - b for a, b in zip(flat[4], p[4])],
+        ]
+    if hists:
+        delta["hists"] = hists
+    return delta
+
+
+class DeltaFlusher(threading.Thread):
+    """Child-side daemon: periodically ship registry deltas over a
+    one-way telemetry connection as ``("metrics", ident, delta)``."""
+
+    def __init__(self, conn, registry: MetricsRegistry, *,
+                 ident: int = 0, interval_s: float = 0.25):
+        super().__init__(name=f"metrics-flusher-{ident}", daemon=True)
+        self.conn = conn
+        self.registry = registry
+        # "source" not "ident": Thread.ident is a read-only property.
+        self.source = ident
+        self.interval_s = interval_s
+        self._stop_event = threading.Event()
+        # Fork inheritance guard: whatever the registry holds right
+        # now (possibly the parent's counters, copied by fork) is the
+        # baseline — only growth beyond it is ever flushed.
+        self._prev = registry.snapshot_flat()
+
+    def flush_once(self) -> bool:
+        """Diff + send; returns whether anything was flushed."""
+        cur = self.registry.snapshot_flat()
+        delta = diff_flat(cur, self._prev)
+        if not delta:
+            return False
+        try:
+            self.conn.send(("metrics", self.source, delta))
+        except (BrokenPipeError, OSError):
+            self._stop_event.set()     # parent is gone; stop trying
+            return False
+        self._prev = cur
+        return True
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            self.flush_once()
+
+    def stop(self, *, final_flush: bool = True) -> None:
+        """Stop the loop; by default push one last delta so short-lived
+        children don't lose their tail."""
+        self._stop_event.set()
+        if final_flush:
+            self.flush_once()
+
+
+def merge_message(registry: MetricsRegistry, msg) -> bool:
+    """Parent-side: apply one telemetry message if it is a metrics
+    delta; returns whether it was one."""
+    if (isinstance(msg, tuple) and len(msg) == 3
+            and msg[0] == "metrics" and isinstance(msg[2], dict)):
+        registry.merge_flat(msg[2])
+        return True
+    return False

@@ -11,13 +11,33 @@ the registry never sits on a per-nonzero path.
 Metric names are dotted (``plan.blocks_created``); labels attach as a
 sorted ``{k=v}`` suffix, Prometheus-style:
 ``heuristic.format_chosen{fmt=bcsr}``.
+
+Histograms are **fixed-bucket** (log-spaced bounds, see
+:data:`DEFAULT_BUCKETS`): each series is a constant-size aggregate —
+count, sum, exact min/max, and per-bucket counts — never a list of raw
+observations. That makes a histogram (a) bounded in memory no matter
+how many requests flow through, (b) *mergeable across processes* by
+summing bucket counts (the shard-metrics flush in
+:mod:`repro.observe.flush` relies on this), and (c) quantile-queryable
+(:meth:`HistogramSummary.quantile`) for the SLO accounting in
+:mod:`repro.observe.slo`. :meth:`MetricsRegistry.render_prometheus`
+exports real ``_bucket{le=...}`` series.
 """
 
 from __future__ import annotations
 
+import math
 import re
 import threading
-from dataclasses import dataclass
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Log-spaced histogram bucket upper bounds: four per decade from 1e-6
+#: to 1e4 (seconds-scale latencies, batch sizes, byte ratios all fit).
+#: Values above the last bound land in the +Inf overflow bucket.
+DEFAULT_BUCKETS: tuple = tuple(
+    round(10.0 ** (e / 4.0), 10) for e in range(-24, 17)
+)
 
 
 def _key(name: str, labels: dict) -> str:
@@ -25,6 +45,54 @@ def _key(name: str, labels: dict) -> str:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+class _Hist:
+    """Mutable fixed-bucket aggregate for one histogram series."""
+
+    __slots__ = ("count", "total", "vmin", "vmax", "counts")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.counts = [0] * (len(DEFAULT_BUCKETS) + 1)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        self.counts[bisect_left(DEFAULT_BUCKETS, value)] += 1
+
+    def merge(self, count: int, total: float, vmin: float, vmax: float,
+              counts: list) -> None:
+        """Fold another aggregate (a shard child's flush delta) in."""
+        self.count += count
+        self.total += total
+        if vmin < self.vmin:
+            self.vmin = vmin
+        if vmax > self.vmax:
+            self.vmax = vmax
+        if len(counts) == len(self.counts):
+            for i, c in enumerate(counts):
+                self.counts[i] += c
+
+    def as_flat(self) -> list:
+        return [self.count, self.total, self.vmin, self.vmax,
+                list(self.counts)]
+
+    def summary(self) -> "HistogramSummary":
+        if not self.count:
+            return HistogramSummary(0, 0.0, 0.0, 0.0)
+        return HistogramSummary(
+            self.count, self.total, self.vmin, self.vmax,
+            bounds=DEFAULT_BUCKETS,
+            bucket_counts=tuple(self.counts),
+        )
 
 
 @dataclass(frozen=True)
@@ -35,10 +103,36 @@ class HistogramSummary:
     total: float
     min: float
     max: float
+    #: Fixed bucket upper bounds (empty for an empty series).
+    bounds: tuple = field(default=())
+    #: Per-bucket (non-cumulative) counts; one extra overflow bucket.
+    bucket_counts: tuple = field(default=())
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (``0 <= q <= 1``),
+        clamped to the exact observed [min, max]."""
+        if not self.count:
+            return 0.0
+        if not self.bucket_counts:
+            return self.max if q >= 0.5 else self.min
+        target = q * self.count
+        cum = 0.0
+        for i, c in enumerate(self.bucket_counts):
+            if not c:
+                continue
+            if cum + c >= target:
+                lo = self.bounds[i - 1] if 0 < i <= len(self.bounds) \
+                    else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                frac = (target - cum) / c
+                est = lo + (hi - lo) * max(0.0, min(frac, 1.0))
+                return max(self.min, min(est, self.max))
+            cum += c
+        return self.max
 
 
 class MetricsRegistry:
@@ -48,7 +142,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
-        self._hists: dict[str, list[float]] = {}
+        self._hists: dict[str, _Hist] = {}
 
     # -------------------------------------------------------- recording
     def inc(self, name: str, value: float = 1.0, **labels) -> None:
@@ -63,7 +157,10 @@ class MetricsRegistry:
     def observe(self, name: str, value: float, **labels) -> None:
         k = _key(name, labels)
         with self._lock:
-            self._hists.setdefault(k, []).append(float(value))
+            h = self._hists.get(k)
+            if h is None:
+                h = self._hists[k] = _Hist()
+            h.add(float(value))
 
     # ---------------------------------------------------------- reading
     def counter(self, name: str, **labels) -> float:
@@ -74,10 +171,10 @@ class MetricsRegistry:
         return self._gauges.get(_key(name, labels), default)
 
     def histogram(self, name: str, **labels) -> HistogramSummary:
-        vals = self._hists.get(_key(name, labels), [])
-        if not vals:
-            return HistogramSummary(0, 0.0, 0.0, 0.0)
-        return HistogramSummary(len(vals), sum(vals), min(vals), max(vals))
+        with self._lock:
+            h = self._hists.get(_key(name, labels))
+            return h.summary() if h is not None \
+                else HistogramSummary(0, 0.0, 0.0, 0.0)
 
     def snapshot(self) -> dict:
         """Point-in-time copy: ``{"counters", "gauges", "histograms"}``."""
@@ -86,11 +183,38 @@ class MetricsRegistry:
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "histograms": {
-                    k: HistogramSummary(
-                        len(v), sum(v), min(v), max(v)
-                    ) for k, v in self._hists.items() if v
+                    k: h.summary() for k, h in self._hists.items()
+                    if h.count
                 },
             }
+
+    def snapshot_flat(self) -> dict:
+        """Pure-builtin snapshot for cross-process shipping:
+        ``{"counters": {k: v}, "gauges": {k: v},
+        "hists": {k: [count, total, min, max, [bucket counts]]}}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "hists": {k: h.as_flat()
+                          for k, h in self._hists.items() if h.count},
+            }
+
+    def merge_flat(self, delta: dict) -> None:
+        """Fold a :func:`repro.observe.flush.diff_flat` delta (from
+        another process's registry) into this one: counters add,
+        gauges overwrite, histogram aggregates merge."""
+        with self._lock:
+            for k, v in delta.get("counters", {}).items():
+                self._counters[k] = self._counters.get(k, 0.0) + v
+            for k, v in delta.get("gauges", {}).items():
+                self._gauges[k] = float(v)
+            for k, flat in delta.get("hists", {}).items():
+                h = self._hists.get(k)
+                if h is None:
+                    h = self._hists[k] = _Hist()
+                h.merge(int(flat[0]), float(flat[1]), float(flat[2]),
+                        float(flat[3]), list(flat[4]))
 
     def reset(self) -> None:
         """Drop every series (test isolation)."""
@@ -121,7 +245,8 @@ class MetricsRegistry:
             rows.append((
                 k,
                 f"n={h.count} mean={h.mean:.3g} "
-                f"min={h.min:.3g} max={h.max:.3g}",
+                f"min={h.min:.3g} max={h.max:.3g} "
+                f"p99={h.quantile(0.99):.3g}",
             ))
         if not rows:
             return "(no metrics recorded)"
@@ -136,8 +261,11 @@ class MetricsRegistry:
 
         Dotted names flatten to underscores (``serve.batches`` →
         ``repro_serve_batches``); label suffixes become Prometheus
-        label sets. Histograms export as summaries (``_count``/``_sum``)
-        plus ``_min``/``_max`` gauges.
+        label sets. Histograms export as real histograms: cumulative
+        ``_bucket{le="..."}`` series over :data:`DEFAULT_BUCKETS`
+        (empty leading/trailing buckets elided, ``+Inf`` always
+        present) plus ``_count``/``_sum`` and auxiliary
+        ``_min``/``_max`` gauges.
         """
         snap = self.snapshot()
         lines: list[str] = []
@@ -156,7 +284,25 @@ class MetricsRegistry:
         def scalar(full: str, labels: str, value) -> None:
             lines.append(f"{full}{labels} {value:g}")
 
-        def summary(full: str, labels: str, hist) -> None:
+        def histogram(full: str, labels: str, hist) -> None:
+            counts = hist.bucket_counts
+            bounds = hist.bounds
+            if counts:
+                # Elide the empty head and tail: emit the populated
+                # bucket range (cumulative counts stay correct).
+                lo = next(i for i, c in enumerate(counts) if c)
+                hi = max(i for i, c in enumerate(counts) if c)
+                cum = sum(counts[:lo])
+                for i in range(lo, min(hi + 1, len(bounds))):
+                    cum += counts[i]
+                    lines.append(
+                        f"{full}_bucket{_with_le(labels, bounds[i])} "
+                        f"{cum:g}"
+                    )
+            lines.append(
+                f"{full}_bucket{_with_le(labels, '+Inf')} "
+                f"{hist.count:g}"
+            )
             lines.append(f"{full}_count{labels} {hist.count:g}")
             lines.append(f"{full}_sum{labels} {hist.total:g}")
             lines.append(f"{full}_min{labels} {hist.min:g}")
@@ -164,13 +310,22 @@ class MetricsRegistry:
 
         emit("counter", snap["counters"], scalar)
         emit("gauge", snap["gauges"], scalar)
-        emit("summary", snap["histograms"], summary)
+        emit("histogram", snap["histograms"], histogram)
         return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _sanitize(name: str) -> str:
     """Map a dotted metric name onto the Prometheus charset."""
     return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _with_le(labels: str, bound) -> str:
+    """Insert the ``le`` label into a rendered Prometheus label set."""
+    le = f'le="{bound:g}"' if isinstance(bound, float) else \
+        f'le="{bound}"'
+    if not labels:
+        return "{" + le + "}"
+    return labels[:-1] + "," + le + "}"
 
 
 def _parse_key(key: str) -> tuple[str, str]:

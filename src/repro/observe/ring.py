@@ -1,0 +1,108 @@
+"""Per-process JSONL span ring files (the shard children's span sink).
+
+A shard worker cannot call into the parent's
+:class:`~repro.observe.hub.TraceHub` — it is another process. Instead
+each child appends its sampled spans to a private JSONL *ring file*
+under the group's spool directory: bounded append-only JSONL that
+rotates to ``<path>.1`` when it exceeds ``max_bytes`` (one previous
+generation is kept, so the ring holds the most recent ~2×``max_bytes``
+of spans). Appends are line-atomic (single ``write`` of one line,
+flushed), so the parent may collate concurrently with writers.
+
+The parent side (:func:`collate`) reads every ring in a spool
+directory and filters by ``trace_id`` — that is how a serve request's
+shard spans rejoin the request's merged span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from .trace import SpanEvent
+
+
+class SpanRing:
+    """Bounded JSONL span writer (one per shard child)."""
+
+    def __init__(self, path, *, max_bytes: int = 1 << 20):
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._f = None
+        self._size = 0
+
+    def _open(self) -> None:
+        self._f = open(self.path, "a", encoding="utf-8")
+        self._size = self._f.tell()
+
+    def append(self, event: SpanEvent) -> None:
+        """Span-sink entry point; swallows I/O errors (observability
+        must never take down a compute worker)."""
+        line = json.dumps(event.to_json()) + "\n"
+        try:
+            with self._lock:
+                if self._f is None:
+                    self._open()
+                if self._size + len(line) > self.max_bytes:
+                    self._rotate_locked()
+                self._f.write(line)
+                self._f.flush()
+                self._size += len(line)
+        except OSError:
+            pass
+
+    def _rotate_locked(self) -> None:
+        self._f.close()
+        os.replace(self.path, self.path + ".1")
+        self._open()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._f is not None:
+                try:
+                    self._f.close()
+                except OSError:
+                    pass
+                self._f = None
+
+
+def read_ring(path) -> list[SpanEvent]:
+    """Every span in one ring (previous generation first). Torn or
+    foreign lines are skipped, not fatal."""
+    events: list[SpanEvent] = []
+    for p in (os.fspath(path) + ".1", os.fspath(path)):
+        if not os.path.exists(p):
+            continue
+        try:
+            with open(p, encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(SpanEvent.from_json(
+                            json.loads(line)))
+                    except (ValueError, KeyError):
+                        continue
+        except OSError:
+            continue
+    return events
+
+
+def collate(spool_dir, trace_id: str | None = None) -> list[SpanEvent]:
+    """All spans from every ring file under ``spool_dir`` (non-``.1``
+    rings and their rotations), optionally filtered to one trace."""
+    events: list[SpanEvent] = []
+    try:
+        names = sorted(os.listdir(spool_dir))
+    except OSError:
+        return events
+    for name in names:
+        if not name.endswith(".jsonl"):
+            continue
+        events.extend(read_ring(os.path.join(spool_dir, name)))
+    if trace_id is not None:
+        events = [e for e in events if e.trace_id == trace_id]
+    return events

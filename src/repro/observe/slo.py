@@ -1,0 +1,174 @@
+"""SLO latency accounting: phase histograms + p99 slow-request sampling.
+
+Every request the serve tier completes reports here once, with its
+**phase breakdown** — ``queue`` (submit → batch execution start),
+``plan`` (registration-time tuning, zero on the steady-state path),
+``compute`` (kernel / shard dispatch), ``gather`` (result unstack and
+column copies) — recorded into the fixed-bucket histograms of
+:mod:`repro.observe.metrics`:
+
+* ``slo.request_seconds{op=...,matrix=...}`` — end-to-end latency;
+* ``slo.phase_seconds{op=...,matrix=...,phase=...}`` — per phase.
+
+Because buckets are fixed and mergeable, the same series aggregate
+correctly across shard children and render as real Prometheus
+histograms.
+
+**Slow-request sampler.** A request is an *outlier* when it exceeds
+the explicit SLO bound (``slo_s``) or the tracked p99 of its op's
+latency histogram (once enough samples exist). Outliers are kept in a
+bounded ring with their full phase breakdown and trace id, and — since
+an already-finished request can't be retroactively traced — the
+sampler *arms* force-sampling for the same matrix: the next
+``force_samples`` requests against that fingerprint get a full span
+tree recorded regardless of the configured sample rate, so the
+conditions that produced the outlier are captured while they persist.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from . import metrics as _metrics
+
+#: Canonical request phases, in pipeline order.
+PHASES = ("queue", "plan", "compute", "gather")
+
+
+@dataclass(frozen=True)
+class SlowSample:
+    """One outlier request, kept for ``repro trace`` / debug routes."""
+
+    trace_id: str            #: empty when the request wasn't sampled
+    op: str
+    fingerprint: str
+    total_s: float
+    threshold_s: float       #: the bound it exceeded
+    wall_time: float         #: time.time() at completion
+    phases: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "fingerprint": self.fingerprint,
+            "total_ms": round(self.total_s * 1e3, 3),
+            "threshold_ms": round(self.threshold_s * 1e3, 3),
+            "wall_time": self.wall_time,
+            "phases_ms": {k: round(v * 1e3, 3)
+                          for k, v in self.phases.items()},
+        }
+
+
+class SloTracker:
+    """Per-service latency accounting and outlier sampling."""
+
+    def __init__(
+        self,
+        *,
+        slo_s: float | None = None,
+        quantile: float = 0.99,
+        min_count: int = 64,
+        max_slow: int = 64,
+        force_samples: int = 2,
+        registry: "_metrics.MetricsRegistry | None" = None,
+    ):
+        self.slo_s = slo_s
+        self.quantile = quantile
+        self.min_count = min_count
+        self.force_samples = force_samples
+        self.registry = registry if registry is not None \
+            else _metrics.get_registry()
+        self._lock = threading.Lock()
+        self._slow: "deque[SlowSample]" = deque(maxlen=max_slow)
+        self._force_debt: dict[str, int] = {}
+
+    # -------------------------------------------------------- recording
+    def record(
+        self,
+        *,
+        op: str,
+        fingerprint: str,
+        total_s: float,
+        phases: dict | None = None,
+        trace_id: str = "",
+    ) -> bool:
+        """Account one completed request; returns whether it was slow."""
+        reg = self.registry
+        # Threshold from the histogram *before* this observation, so a
+        # lone first spike can still trip the explicit SLO bound.
+        hist = reg.histogram("slo.request_seconds", op=op)
+        reg.observe("slo.request_seconds", total_s, op=op,
+                    matrix=fingerprint)
+        reg.observe("slo.request_seconds", total_s, op=op)
+        for phase, seconds in (phases or {}).items():
+            reg.observe("slo.phase_seconds", seconds, op=op,
+                        matrix=fingerprint, phase=phase)
+        threshold = None
+        if self.slo_s is not None:
+            threshold = self.slo_s
+        if hist.count >= self.min_count:
+            p = hist.quantile(self.quantile)
+            threshold = p if threshold is None else min(threshold, p)
+        if threshold is None or total_s <= threshold:
+            return False
+        reg.inc("slo.slow_requests", op=op)
+        sample = SlowSample(
+            trace_id=trace_id, op=op, fingerprint=fingerprint,
+            total_s=total_s, threshold_s=threshold,
+            wall_time=time.time(), phases=dict(phases or {}),
+        )
+        with self._lock:
+            self._slow.append(sample)
+            if self.force_samples > 0:
+                self._force_debt[fingerprint] = self.force_samples
+        return True
+
+    # --------------------------------------------------- force sampling
+    def should_force_sample(self, fingerprint: str) -> bool:
+        """Consume one unit of force-sampling debt for this matrix
+        (armed by a recent outlier); the caller then records a full
+        trace for the request it is about to run."""
+        with self._lock:
+            debt = self._force_debt.get(fingerprint, 0)
+            if debt <= 0:
+                return False
+            if debt == 1:
+                del self._force_debt[fingerprint]
+            else:
+                self._force_debt[fingerprint] = debt - 1
+        _metrics.inc("slo.forced_samples")
+        return True
+
+    # ----------------------------------------------------------- export
+    def slow_samples(self) -> list[SlowSample]:
+        """Most recent outliers, oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    def summary(self) -> dict:
+        """Per-op latency digest: count, mean, p50/p99 (ms), slow count."""
+        reg = self.registry
+        snap = reg.snapshot()
+        out: dict[str, dict] = {}
+        for key, hist in snap["histograms"].items():
+            if not key.startswith("slo.request_seconds{"):
+                continue
+            labels = key[key.index("{") + 1:-1]
+            pairs = dict(item.split("=", 1)
+                         for item in labels.split(","))
+            if "matrix" in pairs:      # per-op series only
+                continue
+            op = pairs.get("op", "?")
+            out[op] = {
+                "count": hist.count,
+                "mean_ms": round(hist.mean * 1e3, 3),
+                "p50_ms": round(hist.quantile(0.5) * 1e3, 3),
+                "p99_ms": round(hist.quantile(0.99) * 1e3, 3),
+                "max_ms": round(hist.max * 1e3, 3),
+                "slow": reg.counter("slo.slow_requests", op=op),
+            }
+        return out

@@ -24,7 +24,9 @@ import numpy as np
 
 from ..errors import PartitionError
 from ..formats.csr import CSRMatrix
+from ..observe import context as _context
 from ..observe import metrics as _metrics
+from ..observe import trace as _trace
 from ..observe.trace import span as _span
 from .partition import RowPartition, partition_rows_balanced
 
@@ -64,13 +66,26 @@ def _resolve_partition(csr: CSRMatrix, partition: RowPartition | None,
 
 def _run_ranges(ranges, run_one, n_threads: int) -> np.ndarray:
     """Execute ``run_one(r0, r1)`` across a pool; returns per-thread
-    wall seconds (for the imbalance gauge)."""
+    wall seconds (for the imbalance gauge).
+
+    Pool threads don't inherit the submitter's contextvars, so the
+    trace context is captured here; under a sampled one each worker's
+    slab gets its own span (via :func:`~repro.observe.trace.emit` —
+    the worker ran outside the context's execution context).
+    """
     secs = np.empty(len(ranges), dtype=np.float64)
+    ctx = _context.current()
+    sampled = ctx is not None and ctx.sampled \
+        and _trace.get_span_sink() is not None
 
     def timed(i: int) -> None:
+        wall0 = time.time()
         t0 = time.perf_counter()
         run_one(*ranges[i])
         secs[i] = time.perf_counter() - t0
+        if sampled:
+            _trace.emit("threaded.worker", ctx, wall0, secs[i],
+                        worker=i, rows=list(map(int, ranges[i])))
 
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         # list() propagates the first worker exception, if any.
@@ -84,7 +99,10 @@ def _record(secs: np.ndarray, s) -> None:
         _metrics.observe("threaded.worker_seconds", float(elapsed))
     mean = float(secs.mean())
     imbalance = float(secs.max()) / mean if mean > 0 else 1.0
+    # Gauge: the latest call, cheap to eyeball; histogram: the
+    # distribution over calls, mergeable across processes.
     _metrics.gauge("threaded.last_imbalance", imbalance)
+    _metrics.observe("threaded.imbalance", imbalance)
     s.set(imbalance=round(imbalance, 3))
 
 

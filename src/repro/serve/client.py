@@ -19,6 +19,8 @@ run against the service unchanged::
 from __future__ import annotations
 
 import os
+import random
+import time
 from concurrent.futures import Future
 
 import numpy as np
@@ -27,6 +29,10 @@ from ..errors import ServeError
 from ..formats.coo import COOMatrix
 from ..machines.model import Machine
 from ..machines.registry import get_machine
+from ..observe import context as _context
+from ..observe import trace as _trace
+from ..observe.hub import install_hub
+from ..observe.slo import SloTracker
 from ..observe.trace import span as _span
 from .plancache import PlanCache
 from .registry import MatrixRegistry, RegistryEntry
@@ -96,6 +102,8 @@ class ServeClient:
         shard_threshold_bytes: int = 4 << 20,
         shard_partition: str = "row",
         backend: str = "numpy",
+        trace_sample_rate: float = 0.0,
+        slo_ms: float | None = None,
     ):
         if isinstance(machine, str):
             machine = get_machine(machine)
@@ -128,9 +136,24 @@ class ServeClient:
         self.pool = WorkerPool(
             n_workers if n_workers is not None else machine.n_cores
         )
+        # Observability plane: the hub is the process-global sink for
+        # sampled spans (idempotent install — clients share it), the
+        # SLO tracker accounts every request's phase breakdown and
+        # arms force-sampling after outliers.
+        if not (0.0 <= trace_sample_rate <= 1.0):
+            raise ServeError(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {trace_sample_rate}"
+            )
+        self.trace_sample_rate = trace_sample_rate
+        self.hub = install_hub()
+        self.slo = SloTracker(
+            slo_s=slo_ms / 1e3 if slo_ms is not None else None
+        )
         self.scheduler = BatchScheduler(
             self.pool, max_batch=max_batch,
             flush_deadline_s=flush_deadline_s, max_queue=max_queue,
+            slo=self.slo,
         )
         self._closed = False
 
@@ -146,15 +169,82 @@ class ServeClient:
         return MatrixOperator(self, entry.fingerprint, entry.shape)
 
     # --------------------------------------------------------- requests
+    def _request_context(self, fingerprint: str
+                         ) -> "tuple[_context.TraceContext | None, bool]":
+        """The trace context this request runs under, and whether this
+        client created it (→ it must also emit the root span). An
+        inbound context (HTTP header, caller-installed) wins; otherwise
+        a fresh sampled root is minted at the configured rate, or when
+        a recent outlier armed force-sampling for this matrix."""
+        ctx = _context.current()
+        if ctx is not None:
+            return ctx, False
+        if self.slo.should_force_sample(fingerprint) or (
+            self.trace_sample_rate > 0.0
+            and random.random() < self.trace_sample_rate
+        ):
+            return _context.new_trace(sampled=True), True
+        return None, False
+
     def submit(self, fingerprint: str, x: np.ndarray) -> Future:
         """Asynchronous ``y = A·x``; coalesces with concurrent calls."""
         entry = self.registry.get(fingerprint)
-        with _span("serve.request", fingerprint=fingerprint):
-            return self.scheduler.submit(entry, x)
+        ctx, created = self._request_context(fingerprint)
+        if ctx is None or not ctx.sampled:
+            # (a minted context is always sampled, so ctx here is the
+            # caller's own — no install needed, submit sees it too)
+            with _span("serve.request", fingerprint=fingerprint):
+                return self.scheduler.submit(entry, x)
+        # Sampled request: everything downstream (scheduler enqueue,
+        # worker task, batch, shards) runs under a context whose span
+        # *is* the "serve.request" boundary span, recorded when the
+        # future resolves. An inbound context stays the tree's parent:
+        # the boundary span links onto it, so a caller that records
+        # its own span slots in above.
+        root_ctx = ctx if created else ctx.child()
+        parent_id = "" if created else ctx.span_id
+        t_wall, t0 = time.time(), time.perf_counter()
+        with _context.use(root_ctx):
+            fut = self.scheduler.submit(entry, x)
+
+        def _finish(f: Future) -> None:
+            _trace.emit(
+                "serve.request", root_ctx, t_wall,
+                time.perf_counter() - t0, as_child=False,
+                parent_id=parent_id, fingerprint=fingerprint,
+                error=type(f.exception()).__name__
+                if f.exception() is not None else "",
+            )
+
+        fut.add_done_callback(_finish)
+        return fut
 
     def spmv(self, fingerprint: str, x: np.ndarray) -> np.ndarray:
         """Synchronous ``y = A·x`` through the batching path."""
         return self.submit(fingerprint, x).result()
+
+    # ---------------------------------------------------- observability
+    def trace(self, trace_id: str) -> list[dict]:
+        """The merged span tree for one trace: parent-side spans from
+        the hub plus shard-child spans collated from the group's ring
+        files. Empty list when the trace is unknown."""
+        if self.shard_group is not None:
+            self.hub.add_events(
+                self.shard_group.collate_trace(trace_id)
+            )
+        return self.hub.tree(trace_id)
+
+    def trace_chrome(self, trace_id: str) -> list[dict]:
+        """Chrome trace-event export of the same merged tree."""
+        if self.shard_group is not None:
+            self.hub.add_events(
+                self.shard_group.collate_trace(trace_id)
+            )
+        return self.hub.to_chrome(trace_id)
+
+    def slow_requests(self) -> list[dict]:
+        """Recent SLO outliers (oldest first), JSON-shaped."""
+        return [s.to_json() for s in self.slo.slow_samples()]
 
     # -------------------------------------------------------- lifecycle
     def describe(self) -> dict:

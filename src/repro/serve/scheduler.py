@@ -22,6 +22,15 @@ the numbers the direct library path produces.
 Counters/histograms: ``serve.requests``, ``serve.batches``,
 ``serve.kernel_invocations``, ``serve.batched_requests``,
 ``serve.batch_size`` (histogram), ``serve.rejected``.
+
+Observability (v2): each request captures the submitter's
+:class:`~repro.observe.context.TraceContext` and its enqueue time; the
+batch executes under the first sampled request's context (re-installed
+in the worker thread), so the ``serve.batch`` span — and the dist
+spans and shard-child spans below it — stitch into the request's tree.
+When the scheduler holds an :class:`~repro.observe.slo.SloTracker`,
+every completed request reports its queue-wait / compute / gather
+phase breakdown there.
 """
 
 from __future__ import annotations
@@ -35,7 +44,9 @@ import numpy as np
 
 from ..errors import ServeAdmissionError, ServeError
 from ..kernels.registry import spmm_backend, spmv_backend
+from ..observe import context as _context
 from ..observe import metrics as _metrics
+from ..observe.slo import SloTracker
 from ..observe.trace import span as _span
 from .registry import RegistryEntry
 from .worker import WorkerPool
@@ -45,6 +56,8 @@ from .worker import WorkerPool
 class _Request:
     x: np.ndarray
     future: Future
+    ctx: "_context.TraceContext | None" = None
+    t_submit: float = 0.0      #: perf_counter at enqueue
 
 
 @dataclass
@@ -64,6 +77,7 @@ class BatchScheduler:
         max_batch: int = 8,
         flush_deadline_s: float = 0.002,
         max_queue: int = 1024,
+        slo: SloTracker | None = None,
     ):
         if max_batch < 1:
             raise ServeError("max_batch must be >= 1")
@@ -75,6 +89,7 @@ class BatchScheduler:
         self.max_batch = max_batch
         self.flush_deadline_s = flush_deadline_s
         self.max_queue = max_queue
+        self.slo = slo
         self._cv = threading.Condition()
         self._groups: dict[str, _Group] = {}
         self._n_queued = 0
@@ -97,26 +112,30 @@ class BatchScheduler:
             )
         fut: Future = Future()
         ready: _Group | None = None
-        with self._cv:
-            if self._closed:
-                raise ServeError("scheduler is closed")
-            if self._n_queued >= self.max_queue:
-                _metrics.inc("serve.rejected")
-                raise ServeAdmissionError(
-                    f"request queue full ({self.max_queue} pending)"
-                )
-            group = self._groups.get(entry.fingerprint)
-            if group is None:
-                group = _Group(entry, time.monotonic())
-                self._groups[entry.fingerprint] = group
-            group.requests.append(_Request(x, fut))
-            self._n_queued += 1
-            _metrics.inc("serve.requests")
-            if len(group.requests) >= self.max_batch:
-                ready = self._groups.pop(entry.fingerprint)
-                self._n_queued -= len(ready.requests)
-            else:
-                self._cv.notify_all()
+        ctx = _context.current()
+        with _span("serve.scheduler.enqueue",
+                   fingerprint=entry.fingerprint):
+            t_submit = time.perf_counter()
+            with self._cv:
+                if self._closed:
+                    raise ServeError("scheduler is closed")
+                if self._n_queued >= self.max_queue:
+                    _metrics.inc("serve.rejected")
+                    raise ServeAdmissionError(
+                        f"request queue full ({self.max_queue} pending)"
+                    )
+                group = self._groups.get(entry.fingerprint)
+                if group is None:
+                    group = _Group(entry, time.monotonic())
+                    self._groups[entry.fingerprint] = group
+                group.requests.append(_Request(x, fut, ctx, t_submit))
+                self._n_queued += 1
+                _metrics.inc("serve.requests")
+                if len(group.requests) >= self.max_batch:
+                    ready = self._groups.pop(entry.fingerprint)
+                    self._n_queued -= len(ready.requests)
+                else:
+                    self._cv.notify_all()
         if ready is not None:
             self._dispatch(ready)
         return fut
@@ -125,7 +144,13 @@ class BatchScheduler:
     def _dispatch(self, group: _Group) -> None:
         with self._cv:
             self._n_inflight += 1
-        self.pool.submit(lambda: self._execute(group))
+        # A coalesced batch serves several requests but executes once:
+        # it runs under the first *sampled* requester's context, so at
+        # least one trace gets the full sub-tree (batch → kernel/dist →
+        # shard spans). The batch span itself lists every member trace.
+        ctx = next((r.ctx for r in group.requests
+                    if r.ctx is not None and r.ctx.sampled), None)
+        self.pool.submit(lambda: self._execute(group), ctx=ctx)
 
     def _execute(self, group: _Group) -> None:
         entry, requests = group.entry, group.requests
@@ -136,9 +161,14 @@ class BatchScheduler:
         # (entry.plan may be None for ad-hoc entries — treat as numpy.)
         backend = entry.plan.backend if entry.plan is not None \
             else "numpy"
+        t_exec = time.perf_counter()
+        gather_s = 0.0
+        member_traces = sorted({r.ctx.trace_id for r in requests
+                                if r.ctx is not None and r.ctx.sampled})
         try:
             with _span("serve.batch", fingerprint=entry.fingerprint,
-                       batch_size=k, sharded=sharded, backend=backend):
+                       batch_size=k, sharded=sharded, backend=backend,
+                       traces=member_traces):
                 if sharded:
                     # Shard-backed matrix: the batch executes on the
                     # persistent workers (slabs already resident in
@@ -151,8 +181,10 @@ class BatchScheduler:
                         x_block = np.stack([r.x for r in requests],
                                            axis=1)
                         y_block = dist.spmm(entry.fingerprint, x_block)
+                        t_g = time.perf_counter()
                         ys = [np.ascontiguousarray(y_block[:, j])
                               for j in range(k)]
+                        gather_s = time.perf_counter() - t_g
                     _metrics.inc("serve.sharded_batches")
                 elif k == 1:
                     ys = [spmv_backend(entry.matrix, requests[0].x,
@@ -161,16 +193,35 @@ class BatchScheduler:
                     x_block = np.stack([r.x for r in requests], axis=1)
                     y_block = spmm_backend(entry.matrix, x_block,
                                            backend=backend)
+                    t_g = time.perf_counter()
                     ys = [np.ascontiguousarray(y_block[:, j])
                           for j in range(k)]
+                    gather_s = time.perf_counter() - t_g
                 if backend == "c" and not sharded:
                     _metrics.inc("serve.c_backend_batches")
             _metrics.inc("serve.batches")
             _metrics.inc("serve.kernel_invocations")
             _metrics.inc("serve.batched_requests", k)
             _metrics.observe("serve.batch_size", k)
+            t_done = time.perf_counter()
+            compute_s = max(t_done - t_exec - gather_s, 0.0)
             for req, y in zip(requests, ys):
                 req.future.set_result(y)
+            if self.slo is not None:
+                for req in requests:
+                    queue_s = max(t_exec - req.t_submit, 0.0) \
+                        if req.t_submit else 0.0
+                    self.slo.record(
+                        op="spmv", fingerprint=entry.fingerprint,
+                        total_s=(t_done - req.t_submit
+                                 if req.t_submit else compute_s),
+                        phases={"queue": queue_s,
+                                "compute": compute_s,
+                                "gather": gather_s},
+                        trace_id=(req.ctx.trace_id
+                                  if req.ctx is not None
+                                  and req.ctx.sampled else ""),
+                    )
         except BaseException as exc:  # noqa: BLE001 - relayed per request
             for req in requests:
                 if not req.future.done():

@@ -14,7 +14,19 @@ Routes
 ``GET /healthz``
     Service/registry summary (status, matrices, queue depth).
 ``GET /metrics``
-    Prometheus text exposition of the process metrics registry.
+    Prometheus text exposition of the process metrics registry —
+    including shard-child counters merged in by the telemetry plane.
+``GET /v1/debug/trace/{trace_id}``
+    Merged span tree for one sampled request (parent spans from the
+    hub + shard spans collated from ring files). ``?format=chrome``
+    returns Chrome trace-event JSON instead of the nested tree.
+``GET /v1/debug/slow``
+    Recent SLO outliers with phase breakdowns and trace ids.
+
+Trace propagation: a ``POST /v1/spmv`` carrying an ``X-Repro-Trace``
+header (``<trace_id>-<span_id>-<01|00>``) executes under that context —
+a sampled one records the full server-side span tree, retrievable at
+``/v1/debug/trace/{trace_id}``. The response echoes the header back.
 
 Admission control: when the scheduler's bounded queue is full the
 server answers ``429 Too Many Requests`` with a ``Retry-After`` hint.
@@ -24,6 +36,7 @@ accepting, then drains in-flight batches before returning.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -32,12 +45,16 @@ import numpy as np
 
 from ..errors import ReproError, ServeAdmissionError, ServeError
 from ..formats.coo import COOMatrix
+from ..observe import context as _context
 from ..observe import metrics as _metrics
+from ..observe.context import TRACE_HEADER
 from ..observe.metrics import render_prometheus
 from ..observe.trace import span as _span
 from .client import ServeClient
 
 _MAX_BODY_BYTES = 256 * 2**20
+
+_NULL_CM = contextlib.nullcontext()
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -104,8 +121,32 @@ class _Handler(BaseHTTPRequestHandler):
                 200, render_prometheus().encode(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        elif self.path.startswith("/v1/debug/trace/"):
+            self._get_trace()
+        elif self.path == "/v1/debug/slow":
+            self._json(200, {"slow": self.client_obj.slow_requests()})
         else:
             self._error(404, f"unknown route GET {self.path}")
+
+    def _get_trace(self) -> None:
+        rest = self.path[len("/v1/debug/trace/"):]
+        trace_id, _, query = rest.partition("?")
+        if not trace_id:
+            self._error(400, "missing trace id")
+            return
+        if query == "format=chrome":
+            events = self.client_obj.trace_chrome(trace_id)
+            if not events:
+                self._error(404, f"unknown trace {trace_id!r}")
+                return
+            self._json(200, {"traceEvents": events,
+                             "displayTimeUnit": "ms"})
+            return
+        tree = self.client_obj.trace(trace_id)
+        if not tree:
+            self._error(404, f"unknown trace {trace_id!r}")
+            return
+        self._json(200, {"trace_id": trace_id, "spans": tree})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         _metrics.inc("serve.http_requests", route=f"POST {self.path}")
@@ -167,11 +208,18 @@ class _Handler(BaseHTTPRequestHandler):
         if "fingerprint" not in body or "x" not in body:
             raise ServeError("spmv body needs 'fingerprint' and 'x'")
         x = np.asarray(body["x"], dtype=np.float64)
-        y = self.client_obj.spmv(body["fingerprint"], x)
+        # Inbound trace context (malformed headers are ignored, never
+        # an error): the request executes under it, so a sampled caller
+        # gets the whole server-side tree under its own span.
+        ctx = _context.from_header(self.headers.get(TRACE_HEADER))
+        with _context.use(ctx) if ctx is not None else _NULL_CM:
+            y = self.client_obj.spmv(body["fingerprint"], x)
+        extra = {TRACE_HEADER: ctx.to_header()} if ctx is not None \
+            else None
         self._json(200, {
             "fingerprint": body["fingerprint"],
             "y": y.tolist(),
-        })
+        }, extra_headers=extra)
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,7 @@ from concurrent.futures import Future
 from typing import Callable
 
 from ..errors import ServeError
+from ..observe import context as _context
 from ..observe import metrics as _metrics
 from ..observe.trace import span as _span
 
@@ -45,13 +46,19 @@ class WorkerPool:
             t.start()
 
     # ----------------------------------------------------------- submit
-    def submit(self, fn: Callable[[], object]) -> Future:
-        """Queue a nullary callable; returns its Future."""
+    def submit(self, fn: Callable[[], object],
+               ctx: "_context.TraceContext | None" = None) -> Future:
+        """Queue a nullary callable; returns its Future.
+
+        ``ctx`` re-installs a trace context inside the worker thread —
+        pool threads don't inherit the submitter's contextvars, so a
+        sampled request's context must ride the queue explicitly.
+        """
         with self._lock:
             if self._closed:
                 raise ServeError("worker pool is shut down")
             fut: Future = Future()
-            self._q.put((fn, fut))
+            self._q.put((fn, fut, ctx))
         return fut
 
     # ------------------------------------------------------ worker loop
@@ -61,15 +68,16 @@ class WorkerPool:
             if item is None:
                 self._q.task_done()
                 return
-            fn, fut = item
+            fn, fut, ctx = item
             if not fut.set_running_or_notify_cancel():
                 self._q.task_done()
                 continue
             t0 = time.perf_counter()
             _metrics.gauge("serve.worker_busy", 1, worker=worker_id)
             try:
-                with _span("serve.worker_task", worker=worker_id):
-                    result = fn()
+                with _context.use(ctx):
+                    with _span("serve.worker_task", worker=worker_id):
+                        result = fn()
             except BaseException as exc:  # noqa: BLE001 - relayed
                 fut.set_exception(exc)
             else:

@@ -1,0 +1,184 @@
+"""Metric-name drift guard.
+
+The observability plane is only useful if the names the code emits,
+the names ``render_prometheus()`` exposes, and the names the README
+documents are the *same* names. This test pins the documented set:
+
+* ``DOCUMENTED`` is the canonical contract — every name here must be
+  emitted by a smoke run of the full serve→dist stack and must appear
+  in the README's Observability/Serving/Distributed sections;
+* the Prometheus rendering of each name must appear on ``/metrics``.
+
+Adding a metric? Emit it, document it in README.md, then add it here.
+Renaming one? This test is the list of places that must change
+together.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist.group import ShardGroup
+from repro.observe import context, new_trace
+from repro.observe.hub import uninstall_hub
+from repro.observe.metrics import (
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from repro.serve.client import ServeClient
+
+README = os.path.join(os.path.dirname(__file__), "..", "README.md")
+
+#: The documented metric contract: name -> kind. Histogram names are
+#: also required to expose ``_bucket`` series on /metrics (real
+#: fixed-bucket histograms, not summaries).
+DOCUMENTED = {
+    # serve tier (scheduler.py / worker.py / registry.py)
+    "serve.requests": "counter",
+    "serve.batches": "counter",
+    "serve.batched_requests": "counter",
+    "serve.kernel_invocations": "counter",
+    "serve.rejected": "counter",
+    "serve.batch_size": "histogram",
+    "serve.worker_tasks": "counter",
+    "serve.worker_busy_seconds": "counter",
+    # dist tier (group.py / fault.py / shard.py)
+    "dist.spmv_calls": "counter",
+    "dist.compute_dispatches": "counter",
+    "dist.shards_alive": "gauge",
+    "dist.shards_spawned": "counter",
+    "dist.shard_busy_seconds": "counter",
+    "dist.heartbeat_age": "gauge",
+    "dist.phase_seconds": "histogram",
+    "dist.compute_imbalance": "gauge",
+    "dist.child_computes": "counter",
+    "dist.child_compute_seconds": "histogram",
+    "dist.telemetry_messages": "counter",
+    # SLO accounting (observe/slo.py, fed by the scheduler)
+    "slo.request_seconds": "histogram",
+    "slo.phase_seconds": "histogram",
+}
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+@pytest.fixture(scope="module")
+def smoke_registry():
+    """One serve→dist smoke run; yields the parent registry text."""
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("needs the fork start method")
+    rng = np.random.default_rng(7)
+    n = 120
+    from repro.formats.coo import COOMatrix
+
+    coo = COOMatrix(
+        (n, n), rng.integers(0, n, 1200), rng.integers(0, n, 1200),
+        rng.standard_normal(1200),
+    )
+    client = ServeClient(
+        shards=2, shard_threshold_bytes=1, trace_sample_rate=1.0,
+    )
+    try:
+        fp = client.register(coo).fingerprint
+        x = rng.standard_normal(n)
+        with context.use(new_trace(sampled=True)):
+            client.spmv(fp, x)
+        for _ in range(3):
+            client.spmv(fp, x)
+        # exercise admission control so serve.rejected exists
+        from repro.errors import ServeAdmissionError
+        from repro.serve.scheduler import BatchScheduler
+        from repro.serve.worker import WorkerPool
+
+        pool = WorkerPool(1)
+        sched = BatchScheduler(pool, max_queue=0)
+        with pytest.raises(ServeAdmissionError):
+            sched.submit(client.registry.get(fp), x)
+        sched.close()
+        pool.shutdown()
+        # let the shard children's DeltaFlushers ship their counters
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            snap = get_registry().snapshot()
+            if any(k.startswith("dist.child_computes")
+                   for k in snap["counters"]):
+                break
+            time.sleep(0.05)
+        yield get_registry(), render_prometheus()
+    finally:
+        client.close()
+        uninstall_hub()
+
+
+def test_documented_names_are_emitted(smoke_registry):
+    registry, _ = smoke_registry
+    snap = registry.snapshot()
+    emitted = {
+        key.split("{", 1)[0]
+        for section in ("counters", "gauges", "histograms")
+        for key in snap[section]
+    }
+    missing = sorted(n for n in DOCUMENTED if n not in emitted)
+    assert not missing, f"documented metrics never emitted: {missing}"
+
+
+def test_documented_kinds_match(smoke_registry):
+    registry, _ = smoke_registry
+    snap = registry.snapshot()
+    by_kind = {"counter": "counters", "gauge": "gauges",
+               "histogram": "histograms"}
+    for name, kind in DOCUMENTED.items():
+        section = snap[by_kind[kind]]
+        assert any(k.split("{", 1)[0] == name for k in section), \
+            f"{name} documented as {kind} but absent from that section"
+
+
+def test_prometheus_exposition_has_documented_names(smoke_registry):
+    _, text = smoke_registry
+    for name, kind in DOCUMENTED.items():
+        prom = _prom_name(name)
+        assert f"# TYPE {prom} " in text, f"{prom} missing TYPE line"
+        if kind == "histogram":
+            assert f"{prom}_bucket{{" in text, \
+                f"{prom} renders without _bucket series"
+
+
+def test_readme_documents_the_same_names():
+    with open(README, encoding="utf-8") as f:
+        readme = f.read()
+    missing = sorted(n for n in DOCUMENTED if f"`{n}" not in readme)
+    assert not missing, \
+        f"metrics emitted+tested but undocumented in README: {missing}"
+
+
+def test_shard_children_reach_parent_metrics(smoke_registry):
+    registry, text = smoke_registry
+    snap = registry.snapshot()
+    child = [k for k in snap["counters"]
+             if k.startswith("dist.child_computes")]
+    # both shards flushed, and the merged series render for scraping
+    assert len(child) >= 2, f"expected per-shard series, got {child}"
+    assert 'repro_dist_child_computes{shard="0"}' in text
+    assert 'repro_dist_child_computes{shard="1"}' in text
+
+
+def test_registry_merge_roundtrip_prefixes():
+    """Cross-process names survive a snapshot→delta→merge cycle
+    unchanged (the aggregation plane must not rename anything)."""
+    from repro.observe.flush import diff_flat
+
+    src, dst = MetricsRegistry(), MetricsRegistry()
+    src.inc("dist.child_computes", 3, shard=1)
+    src.observe("dist.child_compute_seconds", 0.25, shard=1)
+    delta = diff_flat(src.snapshot_flat(), {})
+    dst.merge_flat(delta)
+    snap = dst.snapshot()
+    assert snap["counters"]["dist.child_computes{shard=1}"] == 3
+    assert "dist.child_compute_seconds{shard=1}" in snap["histograms"]

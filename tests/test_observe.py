@@ -385,16 +385,27 @@ class TestPrometheusRendering:
         assert "# TYPE repro_serve_registry_bytes gauge" in text
         assert "repro_serve_registry_bytes 1234" in text
 
-    def test_histogram_as_summary(self):
+    def test_histogram_with_buckets(self):
         reg = MetricsRegistry()
         for v in (1.0, 2.0, 3.0):
             reg.observe("serve.batch_size", v)
         text = reg.render_prometheus()
-        assert "# TYPE repro_serve_batch_size summary" in text
+        assert "# TYPE repro_serve_batch_size histogram" in text
+        assert 'repro_serve_batch_size_bucket{le="1"} 1' in text
+        assert 'repro_serve_batch_size_bucket{le="+Inf"} 3' in text
         assert "repro_serve_batch_size_count 3" in text
         assert "repro_serve_batch_size_sum 6" in text
         assert "repro_serve_batch_size_min 1" in text
         assert "repro_serve_batch_size_max 3" in text
+
+    def test_histogram_buckets_with_labels(self):
+        reg = MetricsRegistry()
+        reg.observe("slo.request_seconds", 0.01, op="spmv")
+        text = reg.render_prometheus()
+        assert 'op="spmv",le="+Inf"} 1' in text
+        # Cumulative count at the last finite bound covers everything.
+        h = reg.histogram("slo.request_seconds", op="spmv")
+        assert sum(h.bucket_counts) == 1
 
     def test_name_sanitization(self):
         reg = MetricsRegistry()

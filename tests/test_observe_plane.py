@@ -1,0 +1,300 @@
+"""The cross-process observability plane, unit by unit and end to end:
+trace-context propagation, span ring files, delta flushing, SLO
+accounting, and the full serve→dist merged span tree — including the
+fault path where a respawned shard must rejoin metrics flushing."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.observe import context, new_trace
+from repro.observe.context import TraceContext, from_header
+from repro.observe.flush import DeltaFlusher, diff_flat, merge_message
+from repro.observe.hub import uninstall_hub
+from repro.observe.metrics import MetricsRegistry, get_registry
+from repro.observe.ring import SpanRing, collate, read_ring
+from repro.observe.slo import SloTracker
+from repro.observe.trace import SpanEvent
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs the fork start method",
+)
+
+
+# ----------------------------------------------------------------------
+# Trace context
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_header_round_trip(self):
+        ctx = new_trace(sampled=True)
+        back = from_header(ctx.to_header())
+        assert back == ctx
+        off = TraceContext(ctx.trace_id, ctx.span_id, sampled=False)
+        assert from_header(off.to_header()) == off
+
+    @pytest.mark.parametrize("header", [
+        None, "", "garbage", "a-b", "a-b-c-d", "xyz-123-01",
+        "deadbeef--01",
+    ])
+    def test_malformed_headers_are_none(self, header):
+        assert from_header(header) is None
+
+    def test_dict_round_trip(self):
+        ctx = new_trace()
+        assert context.from_dict(ctx.to_dict()) == ctx
+        assert context.from_dict(None) is None
+        assert context.from_dict({}) is None
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = new_trace()
+        kid = ctx.child()
+        assert kid.trace_id == ctx.trace_id
+        assert kid.span_id != ctx.span_id
+
+    def test_use_installs_and_restores(self):
+        assert context.current() is None
+        ctx = new_trace()
+        with context.use(ctx) as installed:
+            assert installed is ctx
+            assert context.current() is ctx
+            with context.use(None):
+                assert context.current() is None
+            assert context.current() is ctx
+        assert context.current() is None
+
+
+# ----------------------------------------------------------------------
+# Span ring files
+# ----------------------------------------------------------------------
+def _event(name: str, trace_id: str, span_id: str = "aa00bb11",
+           parent_id: str = "") -> SpanEvent:
+    return SpanEvent(
+        name=name, start_us=1.0, duration_us=2.0, thread_id=0,
+        depth=0, trace_id=trace_id, span_id=span_id,
+        parent_id=parent_id, pid=os.getpid(), wall_us=123.0,
+    )
+
+
+class TestSpanRing:
+    def test_append_read_round_trip(self, tmp_path):
+        ring = SpanRing(tmp_path / "shard-0.jsonl")
+        ring.append(_event("a", "t1", "s1"))
+        ring.append(_event("b", "t2", "s2"))
+        ring.close()
+        events = read_ring(tmp_path / "shard-0.jsonl")
+        assert [(e.name, e.trace_id) for e in events] == \
+            [("a", "t1"), ("b", "t2")]
+
+    def test_rotation_keeps_recent_spans(self, tmp_path):
+        path = tmp_path / "shard-0.jsonl"
+        ring = SpanRing(path, max_bytes=256)
+        for i in range(50):
+            ring.append(_event(f"span{i:03d}", "t", f"s{i:03d}"))
+        ring.close()
+        assert (tmp_path / "shard-0.jsonl.1").exists()
+        names = [e.name for e in read_ring(path)]
+        # The most recent span always survives; older ones age out.
+        assert "span049" in names
+        assert len(names) < 50
+
+    def test_collate_filters_by_trace(self, tmp_path):
+        for shard, trace in ((0, "tA"), (1, "tB")):
+            ring = SpanRing(tmp_path / f"shard-{shard}.jsonl")
+            ring.append(_event("compute", trace, f"s{shard}"))
+            ring.close()
+        assert len(collate(tmp_path)) == 2
+        only_a = collate(tmp_path, trace_id="tA")
+        assert [e.trace_id for e in only_a] == ["tA"]
+        assert collate(tmp_path / "nonexistent") == []
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "shard-0.jsonl"
+        ring = SpanRing(path)
+        ring.append(_event("good", "t", "s"))
+        ring.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"name": "torn half')
+        events = read_ring(path)
+        assert [e.name for e in events] == ["good"]
+
+
+# ----------------------------------------------------------------------
+# Delta flushing (child → parent registry)
+# ----------------------------------------------------------------------
+class TestDeltaFlush:
+    def test_fork_baseline_is_never_reflushed(self):
+        reg = MetricsRegistry()
+        reg.inc("dist.child_computes", 100, shard=0)  # "inherited"
+        recv, send = multiprocessing.Pipe(duplex=False)
+        flusher = DeltaFlusher(send, reg, ident=0)
+        assert not flusher.flush_once()     # nothing beyond baseline
+        reg.inc("dist.child_computes", 3, shard=0)
+        assert flusher.flush_once()
+        kind, source, delta = recv.recv()
+        assert (kind, source) == ("metrics", 0)
+        assert delta["counters"]["dist.child_computes{shard=0}"] == 3
+
+    def test_deltas_are_increments_not_totals(self):
+        reg = MetricsRegistry()
+        recv, send = multiprocessing.Pipe(duplex=False)
+        flusher = DeltaFlusher(send, reg, ident=1)
+        parent = MetricsRegistry()
+        for _ in range(3):
+            reg.inc("dist.child_computes", 2, shard=1)
+            reg.observe("dist.child_compute_seconds", 0.5, shard=1)
+            assert flusher.flush_once()
+            assert merge_message(parent, recv.recv())
+        snap = parent.snapshot()
+        assert snap["counters"]["dist.child_computes{shard=1}"] == 6
+        hist = snap["histograms"]["dist.child_compute_seconds{shard=1}"]
+        assert hist.count == 3
+
+    def test_merge_message_rejects_foreign_shapes(self):
+        reg = MetricsRegistry()
+        assert not merge_message(reg, ("heartbeat", 0, 1.0))
+        assert not merge_message(reg, "noise")
+        assert not merge_message(reg, ("metrics", 0, "not-a-dict"))
+
+    def test_diff_flat_histogram_delta(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        prev = reg.snapshot_flat()
+        reg.observe("h", 3.0)
+        delta = diff_flat(reg.snapshot_flat(), prev)
+        assert delta["hists"]["h"][0] == 1       # one new observation
+        assert delta["hists"]["h"][1] == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# SLO accounting
+# ----------------------------------------------------------------------
+class TestSloTracker:
+    def test_slow_request_sampled_and_armed(self):
+        reg = MetricsRegistry()
+        slo = SloTracker(slo_s=0.010, registry=reg, force_samples=2)
+        assert not slo.record(op="spmv", fingerprint="fp",
+                              total_s=0.002)
+        assert slo.record(
+            op="spmv", fingerprint="fp", total_s=0.5,
+            phases={"queue": 0.4, "compute": 0.1}, trace_id="t1",
+        )
+        samples = slo.slow_samples()
+        assert [s.trace_id for s in samples] == ["t1"]
+        assert samples[0].to_json()["phases_ms"]["queue"] == 400.0
+        # Two units of force-sampling debt, then the arm clears.
+        assert slo.should_force_sample("fp")
+        assert slo.should_force_sample("fp")
+        assert not slo.should_force_sample("fp")
+        assert not slo.should_force_sample("other")
+
+    def test_phase_histograms_recorded(self):
+        reg = MetricsRegistry()
+        slo = SloTracker(registry=reg)
+        slo.record(op="spmv", fingerprint="fp", total_s=0.004,
+                   phases={"queue": 0.001, "compute": 0.003})
+        snap = reg.snapshot()
+        assert ("slo.phase_seconds{matrix=fp,op=spmv,phase=queue}"
+                in snap["histograms"])
+        assert "slo.request_seconds{op=spmv}" in snap["histograms"]
+
+    def test_summary_digest(self):
+        reg = MetricsRegistry()
+        slo = SloTracker(registry=reg)
+        for ms in (1, 2, 3):
+            slo.record(op="spmv", fingerprint="fp", total_s=ms / 1e3)
+        out = slo.summary()
+        assert out["spmv"]["count"] == 3
+        assert out["spmv"]["slow"] == 0
+
+
+# ----------------------------------------------------------------------
+# End to end: one request, one merged tree; faults rejoin the plane
+# ----------------------------------------------------------------------
+def _walk(nodes):
+    for node in nodes:
+        yield node
+        yield from _walk(node["children"])
+
+
+@needs_fork
+class TestEndToEnd:
+    def test_sharded_request_yields_one_merged_tree(self):
+        from repro.serve.client import ServeClient
+        from tests.conftest import random_coo
+
+        coo = random_coo(150, 150, 0.05, seed=40)
+        client = ServeClient(
+            shards=2, shard_threshold_bytes=1, trace_sample_rate=1.0,
+        )
+        try:
+            fp = client.register(coo).fingerprint
+            x = np.random.default_rng(41).standard_normal(150)
+            ctx = new_trace(sampled=True)
+            with context.use(ctx):
+                client.spmv(fp, x)
+            tree = client.trace(ctx.trace_id)
+            assert len(tree) == 1, f"one root expected: {tree}"
+            spans = list(_walk(tree))
+            names = {s["name"] for s in spans}
+            assert "serve.scheduler.enqueue" in names
+            assert "serve.worker_task" in names
+            shard_ids = sorted(
+                s["args"]["shard"] for s in spans
+                if s["name"] == "shard.compute"
+            )
+            assert shard_ids == [0, 1], (
+                f"both shards must contribute spans: {spans}"
+            )
+            assert len({s["pid"] for s in spans}) >= 3
+        finally:
+            client.close()
+            uninstall_hub()
+
+    def test_respawned_shard_rejoins_metrics_flushing(self):
+        from repro.dist import RetryPolicy, ShardGroup
+        from tests.conftest import random_coo
+
+        reg = get_registry()
+        group = ShardGroup(
+            2, heartbeat_interval_s=0.05, compute_timeout_s=10.0,
+            retry=RetryPolicy(max_retries=3, backoff_s=0.01),
+        )
+        try:
+            coo = random_coo(150, 150, 0.05, seed=42)
+            fp = group.register(coo)
+            x = np.random.default_rng(43).standard_normal(150)
+
+            def child_count(shard: int) -> float:
+                return reg.counter("dist.child_computes", shard=shard)
+
+            def wait_for(pred, what: str, timeout: float = 10.0):
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if pred():
+                        return
+                    time.sleep(0.05)
+                pytest.fail(f"timed out waiting for {what}")
+
+            group.spmv(fp, x)
+            wait_for(lambda: child_count(1) >= 1,
+                     "pre-kill telemetry from shard 1")
+            before = child_count(1)
+
+            os.kill(group.shard_pids()[1], signal.SIGKILL)
+            # The next dispatch revives the shard; its fresh child must
+            # re-attach to the telemetry plane and keep counting.
+            group.spmv(fp, x)
+            wait_for(lambda: child_count(1) > before,
+                     "post-respawn telemetry from shard 1")
+            from repro.formats import coo_to_csr
+            assert np.array_equal(group.spmv(fp, x),
+                                  coo_to_csr(coo).spmv(x))
+        finally:
+            group.close()
