@@ -1,0 +1,152 @@
+"""Labeled training corpus for plan prediction.
+
+Each completed tuning sweep (and each background re-tune of a predicted
+plan) appends one JSONL record mapping the matrix's feature vector to
+the winning plan knobs, weighted by the measured winning-vs-runner-up
+margin. The store is versioned (:data:`CORPUS_VERSION`) and defensive:
+
+* corrupt or torn lines (a crashed writer) are *skipped*, never fatal;
+* records from the previous schema version are migrated
+  deterministically; unknown future versions are skipped;
+* records whose feature schema (:data:`~.features.FEATURE_VERSION`)
+  does not match the current extractor are skipped — their feature
+  order is meaningless to today's model.
+
+Skips are observable as ``autoplan.corpus_skipped{reason=...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .. import __version__
+from ..observe import metrics
+from .features import FEATURE_VERSION
+
+#: Bump when the record schema changes; add a migration in
+#: ``_migrate`` for the previous version.
+CORPUS_VERSION = 2
+
+
+@dataclass(frozen=True)
+class CorpusSample:
+    """One labeled observation: features → winning plan knobs."""
+
+    #: Fixed-order feature values (see :data:`~.features.FEATURE_NAMES`).
+    features: tuple[float, ...]
+    #: Sweep candidate label that won (e.g. ``"bcsr-2x2"``, ``"csr"``).
+    label: str
+    #: Dominant materialized format, e.g. ``"bcsr-2x2-16bit"``.
+    fmt: str
+    backend: str
+    machine: str
+    fingerprint: str
+    n_threads: int
+    shards: int
+    #: Sample weight: winning-vs-runner-up time margin (>= 1.0).
+    weight: float
+    #: Wall-clock seconds the tuning sweep took.
+    tuning_seconds: float
+    #: ``"sweep"`` (cold tune) or ``"feedback"`` (post-predict re-tune).
+    source: str
+    feature_version: int = FEATURE_VERSION
+
+    def to_record(self) -> dict:
+        rec = asdict(self)
+        rec["features"] = list(self.features)
+        rec["v"] = CORPUS_VERSION
+        rec["repro_version"] = __version__
+        return rec
+
+    @classmethod
+    def from_record(cls, rec: dict) -> "CorpusSample":
+        return cls(
+            features=tuple(float(v) for v in rec["features"]),
+            label=str(rec["label"]),
+            fmt=str(rec["fmt"]),
+            backend=str(rec.get("backend", "numpy")),
+            machine=str(rec.get("machine", "")),
+            fingerprint=str(rec.get("fingerprint", "")),
+            n_threads=int(rec.get("n_threads", 1)),
+            shards=int(rec.get("shards", 0)),
+            weight=float(rec.get("weight", 1.0)),
+            tuning_seconds=float(rec.get("tuning_seconds", 0.0)),
+            source=str(rec.get("source", "sweep")),
+            feature_version=int(rec.get("feature_version", 1)),
+        )
+
+
+def _migrate(rec: dict) -> dict | None:
+    """Migrate an older record to the current schema, or None to skip.
+
+    Deterministic: the same v1 record always produces the same v2
+    record. v1 used ``"format"`` for the dominant-format field and had
+    no ``"source"`` (everything was a cold sweep).
+    """
+    v = int(rec.get("v", 0))
+    if v == CORPUS_VERSION:
+        return rec
+    if v == 1:
+        out = dict(rec)
+        out["fmt"] = out.pop("format", "")
+        out.setdefault("source", "sweep")
+        out["v"] = CORPUS_VERSION
+        return out
+    return None  # unknown past or future version
+
+
+class PlanCorpus:
+    """Append-only JSONL corpus at ``path`` (thread-safe appends)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def append(self, sample: CorpusSample) -> None:
+        line = json.dumps(sample.to_record(), sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as f:
+                f.write(line + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+        metrics.inc("autoplan.corpus_samples")
+
+    def load(self) -> list[CorpusSample]:
+        """All valid samples; corrupt/stale lines skipped, not fatal."""
+        if not self.path.exists():
+            return []
+        samples: list[CorpusSample] = []
+        with open(self.path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    if not isinstance(rec, dict):
+                        raise ValueError("record is not an object")
+                except (json.JSONDecodeError, ValueError):
+                    metrics.inc("autoplan.corpus_skipped", reason="corrupt")
+                    continue
+                migrated = _migrate(rec)
+                if migrated is None:
+                    metrics.inc("autoplan.corpus_skipped", reason="stale")
+                    continue
+                try:
+                    sample = CorpusSample.from_record(migrated)
+                except (KeyError, TypeError, ValueError):
+                    metrics.inc("autoplan.corpus_skipped", reason="corrupt")
+                    continue
+                if sample.feature_version != FEATURE_VERSION:
+                    metrics.inc("autoplan.corpus_skipped", reason="stale")
+                    continue
+                samples.append(sample)
+        return samples
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -1,0 +1,162 @@
+"""The measured tuning sweep — the thing autoplan learns to skip.
+
+Each candidate pins one degree of freedom of the plan (format family
+and register tile) and lets the heuristic fill in the rest; the winner
+is decided by the minimum of a few measured SpMV iterations. The
+sweep's wall-clock and the winning-vs-runner-up margin travel with the
+result so the plan cache can record them as sample weights.
+
+Candidate labels double as the classifier's target classes, so the set
+must stay small and stable: ``heuristic`` (the paper's one-pass
+choice), plain ``csr``, and the power-of-two BCSR tiles that dominate
+Table 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.optimizer import OptimizationLevel, optimization_config
+from ..core.plan import OptimizationConfig, SpmvPlan
+from ..kernels.registry import spmv_backend
+from ..machines import Machine
+from ..observe import metrics
+from ..observe.trace import span
+
+#: Sweep candidates in evaluation order; also the model's class set.
+CANDIDATE_LABELS: tuple[str, ...] = (
+    "heuristic",
+    "csr",
+    "bcsr-2x2",
+    "bcsr-4x4",
+    "bcsr-1x4",
+    "bcsr-4x1",
+)
+
+
+def config_for_label(
+    machine: Machine, label: str, n_threads: int = 1,
+) -> OptimizationConfig:
+    """Pinned optimization config for one sweep candidate label."""
+    base = optimization_config(
+        machine, OptimizationLevel.FULL, parallel=n_threads > 1,
+    )
+    if label == "heuristic":
+        return base
+    if label == "csr":
+        return dataclasses.replace(
+            base, label=f"{base.label}+csr", register_blocking=False,
+            allow_bcoo=False,
+        )
+    if label.startswith("bcsr-") and "x" in label[5:]:
+        r_s, _, c_s = label[5:].partition("x")
+        try:
+            r, c = int(r_s), int(c_s)
+        except ValueError:
+            raise ValueError(f"unknown sweep candidate label: {label!r}")
+        return dataclasses.replace(
+            base, label=f"{base.label}+{label}", block_candidates=((r, c),),
+            allow_bcoo=False,
+        )
+    raise ValueError(f"unknown sweep candidate label: {label!r}")
+
+
+def _structure_key(plan: SpmvPlan) -> str:
+    """Identity of the *data structure* a plan builds (partition +
+    per-block format choices), ignoring the config label. Candidates
+    with equal keys materialize byte-identical matrices, so timing
+    them separately only measures noise."""
+    return json.dumps([
+        [list(plan.partition.bounds.tolist())],
+        [[list(rect), choice.to_dict()]
+         for rect, choice in plan.choices],
+    ], sort_keys=True)
+
+
+def dominant_format(plan: SpmvPlan) -> str:
+    """Most common materialized block format, e.g. ``bcsr-2x2-16bit``."""
+    census = plan.describe()["block_formats"]
+    if not census:
+        return "csr-1x1-32bit"
+    return max(census.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Winner of one measured sweep plus the evidence."""
+
+    plan: SpmvPlan
+    label: str
+    backend: str
+    #: Total sweep wall-clock (plan + materialize + measure, all
+    #: candidates).
+    wall_seconds: float
+    #: runner_up_time / winner_time — how much the sweep mattered
+    #: (1.0 = a coin flip, big = the winner is clearly right).
+    margin: float
+    #: label -> best measured seconds per SpMV.
+    timings: dict[str, float]
+
+
+def run_sweep(
+    engine,
+    coo,
+    *,
+    n_threads: int = 1,
+    backend: str = "numpy",
+    candidates: tuple[str, ...] | None = None,
+    iters: int = 3,
+) -> SweepResult:
+    """Measure every candidate and return the fastest plan."""
+    labels = candidates if candidates is not None else CANDIDATE_LABELS
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(coo.ncols)
+    timings: dict[str, float] = {}
+    plans: dict[str, SpmvPlan] = {}
+    seen_structures: dict[str, str] = {}
+    t0 = time.perf_counter()
+    with span("autoplan.sweep", nnz=coo.nnz_logical, n=len(labels)):
+        for label in labels:
+            with span("autoplan.sweep.candidate", label=label):
+                config = config_for_label(engine.machine, label, n_threads)
+                plan = engine.plan(
+                    coo, n_threads=n_threads, config=config, backend=backend,
+                )
+                # Candidates that build the same data structure as an
+                # earlier one (e.g. "csr" when the heuristic already
+                # chose CSR everywhere) are aliases: timing them
+                # separately would decide the winner — and the training
+                # label — by pure noise. Collapse onto the first label.
+                key = _structure_key(plan)
+                alias = seen_structures.get(key)
+                if alias is not None:
+                    metrics.inc("autoplan.sweep_candidates_deduped")
+                    continue
+                seen_structures[key] = label
+                matrix = plan.materialize(coo)
+                best = float("inf")
+                for _ in range(max(1, iters)):
+                    t = time.perf_counter()
+                    spmv_backend(matrix, x, backend=plan.backend)
+                    best = min(best, time.perf_counter() - t)
+            timings[label] = best
+            plans[label] = plan
+            metrics.inc("autoplan.sweep_candidates")
+    wall = time.perf_counter() - t0
+    ranked = sorted(timings, key=timings.get)
+    winner = ranked[0]
+    if len(ranked) > 1 and timings[winner] > 0:
+        margin = max(timings[ranked[1]] / timings[winner], 1.0)
+    else:
+        margin = 1.0
+    metrics.inc("autoplan.sweeps")
+    metrics.observe("autoplan.sweep_seconds", wall)
+    return SweepResult(
+        plan=plans[winner], label=winner, backend=backend,
+        wall_seconds=wall, margin=margin, timings=timings,
+    )

@@ -15,7 +15,12 @@ trace TRACE_ID      Fetch one request's merged span tree (HTTP →
                     scheduler → worker → shard children) from a
                     running server and render it as an ASCII tree;
                     ``--slow`` lists recent SLO outliers instead.
-plan-cache          Inspect or clear the on-disk tuned-plan cache.
+plan-cache          Inspect, clear, or export the on-disk tuned-plan
+                    cache (``export`` emits the autoplan training
+                    corpus as JSONL).
+autoplan            Learned plan selection: ``train`` a model from a
+                    corpus, ``predict`` a plan for one matrix, or
+                    print the stratified-holdout accuracy ``report``.
 dist-bench          Shards × matrix sweep over the sharded-execution
                     tier (per-shard imbalance, effective GFLOP/s).
 bench MATRIX        Wall-clock SpMV: NumPy vs the compiled C backend
@@ -288,6 +293,8 @@ def _cmd_serve(args) -> int:
         backend=args.backend,
         trace_sample_rate=args.trace_sample_rate,
         slo_ms=args.slo_ms,
+        plan_mode=args.plan_mode,
+        autoplan_dir=args.autoplan_dir,
     )
     httpd = ServeHTTPServer((args.host, args.port), client)
     print(
@@ -548,6 +555,11 @@ def _cmd_plan_cache(args) -> int:
     if args.action == "clear":
         print(f"removed {cache.clear()} cached plan(s) from {args.dir}")
         return 0
+    if args.action == "export":
+        out = args.out or "autoplan_corpus.jsonl"
+        n = cache.export_corpus(out)
+        print(f"exported {n} training sample(s) to {out}")
+        return 0
     entries = cache.entries()
     if not entries:
         print(f"(no cached plans in {args.dir})")
@@ -563,6 +575,107 @@ def _cmd_plan_cache(args) -> int:
          "fresh", "bytes"],
         rows, title=f"tuned-plan cache at {args.dir}",
     ))
+    return 0
+
+
+def _autoplan_paths(args) -> tuple[str, str]:
+    """Resolve (corpus, model) paths from --dir / --corpus / --model."""
+    import os
+
+    from .autoplan.predictor import CORPUS_FILENAME, MODEL_FILENAME
+
+    corpus = args.corpus or (
+        os.path.join(args.dir, CORPUS_FILENAME) if args.dir else None
+    )
+    model = args.model or (
+        os.path.join(args.dir, MODEL_FILENAME) if args.dir else None
+    )
+    return corpus, model
+
+
+def _cmd_autoplan(args) -> int:
+    import json as _json
+
+    from .autoplan import (
+        PlanCorpus,
+        PlanModel,
+        holdout_report,
+        train_model,
+    )
+
+    corpus_path, model_path = _autoplan_paths(args)
+
+    if args.action == "train":
+        if not corpus_path or not model_path:
+            print("train needs --dir, or --corpus and --model",
+                  file=sys.stderr)
+            return 2
+        samples = PlanCorpus(corpus_path).load()
+        if not samples:
+            print(f"no usable samples in {corpus_path}", file=sys.stderr)
+            return 1
+        model = train_model(samples, k=args.k)
+        path = model.save(model_path)
+        labels = sorted({s.label for s in samples})
+        print(f"trained on {len(samples)} sample(s), "
+              f"{len(labels)} class(es) {labels}")
+        print(f"model artifact: {path}")
+        return 0
+
+    if args.action == "report":
+        if not corpus_path:
+            print("report needs --dir or --corpus", file=sys.stderr)
+            return 2
+        samples = PlanCorpus(corpus_path).load()
+        report = holdout_report(
+            samples, holdout_frac=args.holdout, seed=args.seed, k=args.k,
+        )
+        if args.json:
+            print(_json.dumps(report, indent=2))
+            return 0
+        rows = [[k, report[k]] for k in
+                ("n_samples", "n_train", "n_test",
+                 "top1_label_accuracy", "format_accuracy")]
+        for label, st in report["per_label"].items():
+            rows.append([f"  {label}",
+                         f"{st['accuracy']:.2f} (n={st['n']})"
+                         if st["accuracy"] is not None else "-"])
+        print(format_table(
+            ["metric", "value"], rows,
+            title=f"autoplan holdout report ({corpus_path})",
+        ))
+        return 0
+
+    # predict
+    if not model_path:
+        print("predict needs --dir or --model", file=sys.stderr)
+        return 2
+    model = PlanModel.load(model_path)
+    if model is None:
+        print(f"no loadable model at {model_path} "
+              f"(missing, corrupt, or version-stale)", file=sys.stderr)
+        return 1
+    from .autoplan import extract_features
+    from .autoplan.sweep import config_for_label, dominant_format
+
+    coo = _load_or_generate(args)
+    fv = extract_features(coo)
+    label, confidence = model.predict(fv.values)
+    decision = ("predict" if confidence >= args.threshold
+                else "fallback to sweep")
+    engine = SpmvEngine(get_machine(args.machine))
+    threads = args.threads or engine.machine.n_cores
+    plan = engine.plan(
+        coo, n_threads=threads,
+        config=config_for_label(engine.machine, label, threads),
+    )
+    print(f"matrix     : {args.matrix} "
+          f"({coo.nrows}x{coo.ncols}, {coo.nnz_logical:,} nnz)")
+    print(f"prediction : {label} (confidence {confidence:.2f}, "
+          f"threshold {args.threshold:.2f} -> {decision})")
+    print(f"plan       : {dominant_format(plan)} dominant, "
+          f"{plan.describe()['n_blocks']} block(s), "
+          f"{threads} thread(s) on {args.machine}")
     return 0
 
 
@@ -669,6 +782,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--slo-ms", type=float, default=None,
                     help="explicit latency SLO; slower requests are "
                          "sampled and listed at /v1/debug/slow")
+    sp.add_argument("--plan-mode",
+                    choices=["heuristic", "auto", "predict", "tune"],
+                    default="heuristic",
+                    help="cold-registration planning: heuristic "
+                         "(one-pass), auto/predict (learned model, "
+                         "sweep fallback), tune (always sweep)")
+    sp.add_argument("--autoplan-dir", metavar="DIR", default=None,
+                    help="autoplan corpus + model directory "
+                         "(default: the --plan-cache dir)")
 
     sp = sub.add_parser(
         "trace",
@@ -732,11 +854,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="compile + validate every variant first")
 
     sp = sub.add_parser("plan-cache",
-                        help="inspect or clear the tuned-plan store",
+                        help="inspect, clear, or export the tuned-plan "
+                             "store",
                         parents=[common])
-    sp.add_argument("action", choices=["inspect", "clear"])
+    sp.add_argument("action", choices=["inspect", "clear", "export"])
     sp.add_argument("--dir", required=True,
                     help="plan cache directory (serve --plan-cache)")
+    sp.add_argument("--out", default=None,
+                    help="export: output JSONL path "
+                         "(default autoplan_corpus.jsonl)")
+
+    sp = sub.add_parser(
+        "autoplan",
+        help="learned plan selection: train / predict / report",
+        parents=[common],
+    )
+    sp.add_argument("action", choices=["train", "predict", "report"])
+    sp.add_argument("matrix", nargs="?", default=None,
+                    help="predict: suite name, .mtx file, or .npz file")
+    sp.add_argument("--dir", default=None,
+                    help="autoplan directory holding corpus + model")
+    sp.add_argument("--corpus", default=None,
+                    help="corpus JSONL path (overrides --dir)")
+    sp.add_argument("--model", default=None,
+                    help="model artifact path (overrides --dir)")
+    sp.add_argument("--machine", default="AMD X2",
+                    choices=machine_names())
+    sp.add_argument("--threads", type=int, default=None)
+    sp.add_argument("--scale", type=float, default=0.1)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--k", type=int, default=5,
+                    help="k-NN neighborhood size")
+    sp.add_argument("--holdout", type=float, default=0.25,
+                    help="report: holdout fraction")
+    sp.add_argument("--threshold", type=float, default=0.6,
+                    help="predict: confidence below this falls back")
+    sp.add_argument("--json", action="store_true",
+                    help="report: print raw JSON")
     return p
 
 
@@ -753,6 +907,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "trace": _cmd_trace,
     "plan-cache": _cmd_plan_cache,
+    "autoplan": _cmd_autoplan,
     "dist-bench": _cmd_dist_bench,
     "bench": _cmd_bench,
     "kernels": _cmd_kernels,

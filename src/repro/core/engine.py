@@ -122,6 +122,8 @@ class SpmvEngine:
         n_threads: int = 1,
         config: OptimizationConfig | None = None,
         backend: str = "numpy",
+        mode: str = "heuristic",
+        planner=None,
     ) -> SpmvPlan:
         """Produce an optimization plan (no heavy materialization).
 
@@ -129,7 +131,21 @@ class SpmvEngine:
         the paper's search-free heuristic tuning. ``backend`` selects
         the execution substrate the plan will run on (``numpy`` | ``c``
         | ``auto``); it does not change the planned data structure.
+
+        ``mode`` selects how the plan's degrees of freedom are fixed:
+        ``"heuristic"`` (default) is the paper's one-pass choice;
+        ``"auto"``/``"predict"`` consult the learned autoplan model
+        (``planner`` is an :class:`~repro.autoplan.AutoPlanner`) and
+        fall back to a measured sweep; ``"tune"`` always sweeps. The
+        non-heuristic modes delegate to :meth:`plan_auto` and return
+        only the plan — use :meth:`plan_auto` directly to keep the
+        provenance (path taken, confidence, sweep timings).
         """
+        if mode != "heuristic":
+            return self.plan_auto(
+                coo, n_threads=n_threads, backend=backend, mode=mode,
+                planner=planner,
+            ).plan
         from ..kernels.registry import resolve_backend
 
         backend = resolve_backend(backend)
@@ -191,6 +207,30 @@ class SpmvEngine:
                 partition=partition, choices=tuple(choices),
                 backend=backend,
             )
+
+    # ------------------------------------------------------------------
+    def plan_auto(
+        self,
+        coo: COOMatrix,
+        *,
+        n_threads: int = 1,
+        backend: str = "numpy",
+        mode: str = "auto",
+        planner=None,
+    ):
+        """Learned one-pass plan selection (see :mod:`repro.autoplan`).
+
+        Returns a :class:`~repro.autoplan.PlanOutcome` carrying the
+        plan plus how it was produced (predicted vs swept, confidence,
+        sweep wall-clock and margin). Imported lazily so the core
+        engine has no hard dependency on the autoplan package.
+        """
+        from ..autoplan.predictor import plan_with_autoplan
+
+        return plan_with_autoplan(
+            self, coo, n_threads=n_threads, backend=backend, mode=mode,
+            planner=planner,
+        )
 
     # ------------------------------------------------------------------
     def _plan_part(

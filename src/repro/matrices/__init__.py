@@ -16,7 +16,16 @@ from .io import load_matrix, load_matrix_market, save_matrix, save_matrix_market
 from .lp import set_cover_lp
 from .random_sparse import scattered_matrix
 from .reorder import bandwidth_of, permute, rcm_reorder, reverse_cuthill_mckee
-from .stats import MatrixStats, compute_stats
+from .stats import (
+    BandwidthStats,
+    MatrixStats,
+    RowLengthStats,
+    bandwidth_stats,
+    block_fill_ratio,
+    compute_stats,
+    row_length_stats,
+    symmetry_fraction,
+)
 from .stencil import lattice_qcd, markov_grid
 from .suite import (
     SUITE,
@@ -29,8 +38,12 @@ from .suite import (
 __all__ = [
     "SUITE",
     "MatrixSpec",
+    "BandwidthStats",
     "MatrixStats",
+    "RowLengthStats",
     "bandwidth_of",
+    "bandwidth_stats",
+    "block_fill_ratio",
     "permute",
     "rcm_reorder",
     "reverse_cuthill_mckee",
@@ -44,10 +57,12 @@ __all__ = [
     "load_matrix_market",
     "markov_grid",
     "power_law_graph",
+    "row_length_stats",
     "save_matrix",
     "save_matrix_market",
     "scattered_matrix",
     "set_cover_lp",
     "suite_names",
     "suite_table",
+    "symmetry_fraction",
 ]

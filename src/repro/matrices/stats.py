@@ -18,6 +18,115 @@ from ..formats.coo import COOMatrix
 
 
 @dataclass(frozen=True)
+class RowLengthStats:
+    """Moments of the nonzeros-per-row distribution.
+
+    Every field is well-defined for degenerate matrices (no rows, no
+    nonzeros, a single row): ratios whose denominator would vanish are
+    reported as 0.0, never NaN/inf — the autoplan feature extractor
+    relies on this.
+    """
+
+    mean: float
+    std: float
+    #: Coefficient of variation, ``std / mean`` (0.0 when mean is 0).
+    cv: float
+    min: int
+    max: int
+    #: ``max / mean`` (0.0 when mean is 0) — long-tail row detector.
+    max_rel: float
+    #: Fraction of rows with no nonzeros (0.0 for a zero-row matrix).
+    empty_frac: float
+
+
+def row_length_stats(coo: COOMatrix) -> RowLengthStats:
+    """Row-length distribution moments, safe for every degenerate shape."""
+    m = coo.nrows
+    if m == 0:
+        return RowLengthStats(0.0, 0.0, 0.0, 0, 0, 0.0, 0.0)
+    counts = coo.row_counts()
+    mean = float(counts.mean())
+    std = float(counts.std())
+    cmax = int(counts.max())
+    return RowLengthStats(
+        mean=mean,
+        std=std,
+        cv=std / mean if mean > 0 else 0.0,
+        min=int(counts.min()),
+        max=cmax,
+        max_rel=cmax / mean if mean > 0 else 0.0,
+        empty_frac=float((counts == 0).mean()),
+    )
+
+
+@dataclass(frozen=True)
+class BandwidthStats:
+    """Distance-from-diagonal distribution, scaled to the unit square.
+
+    Distances are ``|i - j·nrows/ncols| / nrows`` so rectangular
+    matrices compare on the same footing; 0 throughout for diagonal
+    matrices and for degenerate (empty / zero-dimension) ones.
+    """
+
+    mean: float
+    p95: float
+    max: float
+    #: Fraction of nonzeros within ±1% of the scaled diagonal.
+    diag_frac: float
+
+
+def bandwidth_stats(coo: COOMatrix) -> BandwidthStats:
+    """Scaled bandwidth distribution, safe for every degenerate shape."""
+    m, n = coo.shape
+    if coo.nnz_logical == 0 or m == 0 or n == 0:
+        return BandwidthStats(0.0, 0.0, 0.0, 0.0)
+    dist = np.abs(coo.row - coo.col * (m / n))
+    scale = float(max(m, 1))
+    return BandwidthStats(
+        mean=float(dist.mean()) / scale,
+        p95=float(np.percentile(dist, 95)) / scale,
+        max=float(dist.max()) / scale,
+        diag_frac=float((dist <= 0.01 * scale).mean()),
+    )
+
+
+def symmetry_fraction(coo: COOMatrix) -> float:
+    """Fraction of nonzeros whose transpose position is also stored.
+
+    1.0 for structurally symmetric matrices (and, vacuously, for empty
+    ones); 0.0 for rectangular matrices, where symmetry is undefined.
+    """
+    m, n = coo.shape
+    if m != n:
+        return 0.0
+    if coo.nnz_logical == 0:
+        return 1.0
+    keys = coo.row * n + coo.col
+    transposed = coo.col * n + coo.row
+    # keys is sorted (COO is row-major sorted with unique coordinates).
+    idx = np.searchsorted(keys, transposed)
+    idx = np.minimum(idx, len(keys) - 1)
+    return float((keys[idx] == transposed).mean())
+
+
+def block_fill_ratio(coo: COOMatrix, r: int, c: int) -> float:
+    """Stored/logical fill ratio of an ``r×c`` register blocking.
+
+    1.0 means the tiling is perfect (every tile slot holds a true
+    nonzero); ``r·c`` is the worst case. Empty matrices report 1.0.
+    """
+    if r < 1 or c < 1:
+        raise ValueError(f"block dims must be >= 1, got {r}x{c}")
+    nnz = coo.nnz_logical
+    if nnz == 0:
+        return 1.0
+    n_bcols = ceil_div(max(coo.ncols, 1), c)
+    key = (coo.row // r) * n_bcols + coo.col // c
+    ntiles = len(np.unique(key))
+    return ntiles * r * c / nnz
+
+
+@dataclass(frozen=True)
 class MatrixStats:
     """Summary statistics of one sparse matrix."""
 
@@ -61,38 +170,20 @@ def compute_stats(
     block candidate)."""
     m, n = coo.shape
     nnz = coo.nnz_logical
-    counts = coo.row_counts()
-    if m:
-        mean = float(counts.mean())
-        std = float(counts.std())
-        cmin, cmax = int(counts.min()), int(counts.max())
-        empty = int((counts == 0).sum())
-    else:
-        mean = std = 0.0
-        cmin = cmax = empty = 0
+    rows = row_length_stats(coo)
+    band = bandwidth_stats(coo)
     density = nnz / (m * n) if m and n else 0.0
-    if nnz:
-        scaled_col = coo.col * (m / max(n, 1))
-        dist = np.abs(coo.row - scaled_col)
-        diag_spread = float(dist.mean() / max(m, 1))
-        diag_conc = float((dist <= 0.01 * max(m, 1)).mean())
-    else:
-        diag_spread = 0.0
-        diag_conc = 0.0
-    fills: dict[tuple[int, int], float] = {}
-    for (r, c) in block_candidates:
-        if nnz == 0:
-            fills[(r, c)] = 1.0
-            continue
-        n_bcols = ceil_div(max(n, 1), c)
-        key = (coo.row // r) * n_bcols + coo.col // c
-        ntiles = len(np.unique(key))
-        fills[(r, c)] = ntiles * r * c / nnz
+    fills = {
+        (r, c): block_fill_ratio(coo, r, c) for (r, c) in block_candidates
+    }
     return MatrixStats(
         nrows=m, ncols=n, nnz=nnz,
-        nnz_per_row_mean=mean, nnz_per_row_min=cmin, nnz_per_row_max=cmax,
-        nnz_per_row_std=std, empty_rows=empty, density=density,
-        diag_spread=diag_spread, diag_concentration=diag_conc,
+        nnz_per_row_mean=rows.mean, nnz_per_row_min=rows.min,
+        nnz_per_row_max=rows.max,
+        nnz_per_row_std=rows.std,
+        empty_rows=int(round(rows.empty_frac * m)),
+        density=density,
+        diag_spread=band.mean, diag_concentration=band.diag_frac,
         block_fill=fills,
     )
 

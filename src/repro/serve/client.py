@@ -104,12 +104,34 @@ class ServeClient:
         backend: str = "numpy",
         trace_sample_rate: float = 0.0,
         slo_ms: float | None = None,
+        plan_mode: str = "heuristic",
+        autoplan_dir: str | os.PathLike | None = None,
+        retune_predicted: bool = True,
     ):
         if isinstance(machine, str):
             machine = get_machine(machine)
         self.machine = machine
+        # Learned plan selection: with plan_mode "auto"/"predict", cold
+        # registrations try the model first (corpus + artifact live in
+        # autoplan_dir, defaulting to the plan-cache dir) and confident
+        # predictions skip the tuning sweep; a background re-tune then
+        # confirms or overrides the predicted plan (retune_predicted).
+        self.autoplanner = None
+        if autoplan_dir is None:
+            autoplan_dir = plan_cache_dir
+        if plan_mode != "heuristic" and autoplan_dir is not None:
+            from ..autoplan import AutoPlanner
+
+            self.autoplanner = AutoPlanner(
+                os.path.expanduser(os.fspath(autoplan_dir))
+            )
+        self.retune_predicted = retune_predicted
         plan_cache = (
-            PlanCache(os.path.expanduser(os.fspath(plan_cache_dir)))
+            PlanCache(
+                os.path.expanduser(os.fspath(plan_cache_dir)),
+                corpus=(self.autoplanner.corpus
+                        if self.autoplanner is not None else None),
+            )
             if plan_cache_dir is not None else None
         )
         # With `shards`, matrices whose materialized footprint reaches
@@ -130,6 +152,8 @@ class ServeClient:
             shard_group=self.shard_group,
             shard_threshold_bytes=shard_threshold_bytes,
             backend=backend,
+            plan_mode=plan_mode,
+            autoplanner=self.autoplanner,
         )
         # Pool sized to the machine model being served: SpMV batches
         # saturate its modeled core count, more threads just queue.
@@ -160,8 +184,21 @@ class ServeClient:
     # ----------------------------------------------------- registration
     def register(self, coo: COOMatrix,
                  *, n_threads: int | None = None) -> RegistryEntry:
-        """Tune (plan-cache-aware) and admit a matrix; idempotent."""
-        return self.registry.register(coo, n_threads=n_threads)
+        """Tune (plan-cache-aware) and admit a matrix; idempotent.
+
+        When the registry took the predict path, a background re-tune
+        is queued (unless ``retune_predicted=False``): it sweeps the
+        matrix off the request path, records whether the prediction
+        was right, and upgrades the live plan on an override. The
+        scheduler's drain discipline waits for it like any batch.
+        """
+        entry = self.registry.register(coo, n_threads=n_threads)
+        if entry.predicted and self.retune_predicted:
+            fingerprint = entry.fingerprint
+            self.scheduler.submit_task(
+                lambda: self.registry.retune(fingerprint, coo)
+            )
+        return entry
 
     def operator(self, fingerprint: str) -> MatrixOperator:
         """Solver-ready handle for a registered matrix."""

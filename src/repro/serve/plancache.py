@@ -55,10 +55,19 @@ def _machine_slug(name: str) -> str:
 
 
 class PlanCache:
-    """Directory of ``<machine>/<fingerprint>.json`` plan envelopes."""
+    """Directory of ``<machine>/<fingerprint>.json`` plan envelopes.
 
-    def __init__(self, root: str | os.PathLike):
+    ``corpus`` (a :class:`~repro.autoplan.PlanCorpus`) makes the cache
+    the autoplan training tap: every :meth:`store` that carries tuning
+    provenance (an ``autoplan`` dict from a completed sweep or a
+    feedback re-tune) appends one labeled sample. This is the *single*
+    append path — corpus growth happens exactly when a tuned plan
+    becomes durable.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, corpus=None):
         self.root = Path(root)
+        self.corpus = corpus
 
     # ------------------------------------------------------------- keys
     def path_for(self, machine_name: str, fingerprint: str) -> Path:
@@ -102,8 +111,16 @@ class PlanCache:
             s.set(outcome="hit")
             return plan
 
-    def store(self, fingerprint: str, plan: SpmvPlan) -> Path:
-        """Persist a plan under ``(plan.machine, fingerprint)``."""
+    def store(self, fingerprint: str, plan: SpmvPlan, *,
+              autoplan: dict | None = None) -> Path:
+        """Persist a plan under ``(plan.machine, fingerprint)``.
+
+        ``autoplan`` is optional tuning provenance (features, winning
+        label, sweep wall-clock, winner-vs-runner-up margin) recorded
+        in the envelope and — when a corpus is attached and the plan
+        came from a measured sweep — appended as a training sample.
+        Envelopes without the key load exactly as before.
+        """
         path = self.path_for(plan.machine.name, fingerprint)
         with _span("serve.plancache.store", machine=plan.machine.name,
                    fingerprint=fingerprint):
@@ -114,11 +131,33 @@ class PlanCache:
                 "fingerprint": fingerprint,
                 "plan": plan.to_dict(),
             }
+            if autoplan is not None:
+                envelope["autoplan"] = autoplan
             tmp = path.with_suffix(".json.tmp")
             with open(tmp, "w") as f:
                 json.dump(envelope, f, indent=1)
             os.replace(tmp, path)
             _metrics.inc("serve.plan_cache_store")
+        if (self.corpus is not None and autoplan is not None
+                and autoplan.get("source") in ("sweep", "feedback")
+                and autoplan.get("features")):
+            from ..autoplan.corpus import CorpusSample
+
+            self.corpus.append(CorpusSample(
+                features=tuple(autoplan["features"]),
+                label=str(autoplan.get("label", "")),
+                fmt=str(autoplan.get("fmt", "")),
+                backend=plan.backend,
+                machine=plan.machine.name,
+                fingerprint=fingerprint,
+                n_threads=int(plan.n_threads),
+                shards=int(autoplan.get("shards", 0)),
+                weight=float(autoplan.get("weight", 1.0)),
+                tuning_seconds=float(autoplan.get("tuning_seconds", 0.0)),
+                source=str(autoplan["source"]),
+                feature_version=int(autoplan.get(
+                    "feature_version", 1)),
+            ))
         return path
 
     # ------------------------------------------------------- maintenance
@@ -149,6 +188,52 @@ class PlanCache:
                 pass
             out.append(row)
         return out
+
+    def export_corpus(self, out: str | os.PathLike) -> int:
+        """Write every envelope's tuning provenance to ``out`` as
+        corpus JSONL (the ``repro plan-cache export`` payload).
+
+        Returns the number of samples written. Envelopes without
+        provenance (pre-autoplan, or predicted-not-tuned) are skipped;
+        unreadable files are skipped, not fatal.
+        """
+        from ..autoplan.corpus import CorpusSample
+
+        written = 0
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "w", encoding="utf-8") as f:
+            if not self.root.exists():
+                return 0
+            for path in sorted(self.root.glob("*/*.json")):
+                try:
+                    with open(path) as src:
+                        envelope = json.load(src)
+                except (json.JSONDecodeError, OSError):
+                    continue
+                ap = envelope.get("autoplan")
+                if not isinstance(ap, dict) or not ap.get("features"):
+                    continue
+                plan = envelope.get("plan", {})
+                sample = CorpusSample(
+                    features=tuple(float(v) for v in ap["features"]),
+                    label=str(ap.get("label", "")),
+                    fmt=str(ap.get("fmt", "")),
+                    backend=str(plan.get("backend", "numpy")),
+                    machine=str(envelope.get("machine", "")),
+                    fingerprint=str(envelope.get("fingerprint", "")),
+                    n_threads=int(
+                        plan.get("profile", {}).get("n_threads", 1)),
+                    shards=int(ap.get("shards", 0)),
+                    weight=float(ap.get("weight", 1.0)),
+                    tuning_seconds=float(ap.get("tuning_seconds", 0.0)),
+                    source=str(ap.get("source", "sweep")),
+                    feature_version=int(ap.get("feature_version", 1)),
+                )
+                f.write(json.dumps(sample.to_record(), sort_keys=True)
+                        + "\n")
+                written += 1
+        return written
 
     def clear(self) -> int:
         """Delete every stored plan; returns the number removed."""

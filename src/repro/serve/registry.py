@@ -25,6 +25,7 @@ freeing its segments.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -54,6 +55,14 @@ class RegistryEntry:
     sharded: bool = field(default=False)
     #: The backing :class:`~repro.dist.group.ShardGroup` when sharded.
     shard_group: object | None = field(default=None, repr=False)
+    #: True while the plan came from the autoplan predictor and has not
+    #: yet been confirmed or overridden by a background re-tune.
+    predicted: bool = field(default=False)
+    #: How the plan was produced: cached | heuristic | predict | tune.
+    plan_path: str = field(default="heuristic")
+    #: Sweep-candidate label behind the plan ("" for heuristic/cached).
+    autoplan_label: str = field(default="")
+    autoplan_confidence: float = field(default=0.0)
 
     @property
     def nrows(self) -> int:
@@ -74,6 +83,10 @@ class RegistryEntry:
             "plan_cache_hit": self.from_plan_cache,
             "hits": self.hits,
             "sharded": self.sharded,
+            "plan_path": self.plan_path,
+            "predicted": self.predicted,
+            "autoplan_label": self.autoplan_label,
+            "autoplan_confidence": self.autoplan_confidence,
         }
 
 
@@ -90,8 +103,13 @@ class MatrixRegistry:
         shard_group=None,
         shard_threshold_bytes: int = 0,
         backend: str = "numpy",
+        plan_mode: str = "heuristic",
+        autoplanner=None,
     ):
         from ..kernels.registry import resolve_backend
+
+        if plan_mode not in ("heuristic", "auto", "predict", "tune"):
+            raise ServeError(f"unknown plan_mode {plan_mode!r}")
 
         self.machine = machine
         self.engine = SpmvEngine(machine)
@@ -106,6 +124,12 @@ class MatrixRegistry:
         self.plan_cache = plan_cache
         self.shard_group = shard_group
         self.shard_threshold_bytes = shard_threshold_bytes
+        #: How cold registrations plan: "heuristic" is the paper's
+        #: one-pass choice; "auto"/"predict" consult the learned model
+        #: and fall back to the sweep; "tune" always sweeps.
+        self.plan_mode = plan_mode
+        #: :class:`~repro.autoplan.AutoPlanner` for non-heuristic modes.
+        self.autoplanner = autoplanner
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
         self._total_bytes = 0
@@ -155,6 +179,7 @@ class MatrixRegistry:
         threads = n_threads if n_threads is not None else self.n_threads
         # A plan needs at least one row per part; tiny matrices clamp.
         threads = max(1, min(threads, coo.nrows, self.machine.n_threads))
+        t_start = time.perf_counter()
         with _span("serve.register", fingerprint=fingerprint,
                    nnz=coo.nnz_logical, threads=threads) as s:
             plan = None
@@ -168,11 +193,20 @@ class MatrixRegistry:
                     _metrics.inc("serve.plan_cache_thread_mismatch")
                     plan = None
             from_cache = plan is not None
+            outcome = None
+            path = "cached"
             if plan is None:
-                plan = self.engine.plan(coo, n_threads=threads,
-                                        backend=self.backend)
-                if self.plan_cache is not None:
-                    self.plan_cache.store(fingerprint, plan)
+                if self.plan_mode == "heuristic":
+                    plan = self.engine.plan(coo, n_threads=threads,
+                                            backend=self.backend)
+                    path = "heuristic"
+                else:
+                    outcome = self.engine.plan_auto(
+                        coo, n_threads=threads, backend=self.backend,
+                        mode=self.plan_mode, planner=self.autoplanner,
+                    )
+                    plan = outcome.plan
+                    path = outcome.path
             elif plan.backend != self.backend:
                 # A cached plan is structurally valid for any backend —
                 # the backend only selects the execution substrate — so
@@ -190,8 +224,12 @@ class MatrixRegistry:
                 matrix=matrix,
                 footprint_bytes=matrix.footprint_bytes(),
                 from_plan_cache=from_cache,
+                predicted=(path == "predict"),
+                plan_path=path,
+                autoplan_label=outcome.label if outcome else "",
+                autoplan_confidence=outcome.confidence if outcome else 0.0,
             )
-            s.set(plan_cache_hit=from_cache,
+            s.set(plan_cache_hit=from_cache, plan_path=path,
                   footprint_bytes=entry.footprint_bytes)
             if (self.shard_group is not None
                     and entry.footprint_bytes
@@ -206,10 +244,98 @@ class MatrixRegistry:
                 entry.shard_group = self.shard_group
                 _metrics.inc("serve.matrices_sharded")
                 s.set(sharded=True)
+            if self.plan_cache is not None and not from_cache:
+                # Stored after the shard decision so tuning provenance
+                # records the shard count it will actually run with.
+                self.plan_cache.store(
+                    fingerprint, plan,
+                    autoplan=self._provenance(entry, outcome),
+                )
         with self._lock:
             self._admit(entry)
         _metrics.inc("serve.matrices_registered")
+        _metrics.observe("autoplan.registration_seconds",
+                         time.perf_counter() - t_start, path=path)
         return entry
+
+    def _provenance(self, entry: RegistryEntry, outcome) -> dict | None:
+        """Envelope/corpus provenance for a freshly planned matrix."""
+        if outcome is None or outcome.features is None:
+            return None
+        source = "sweep" if outcome.path == "tune" else "predict"
+        return {
+            "source": source,
+            "label": outcome.label,
+            "fmt": outcome.fmt,
+            "confidence": outcome.confidence,
+            "weight": outcome.margin,
+            "tuning_seconds": outcome.tuning_seconds,
+            "features": outcome.features.to_list(),
+            "feature_version": outcome.features.version,
+            "n_threads": entry.plan.n_threads,
+            "shards": (entry.shard_group.n_shards
+                       if entry.sharded and entry.shard_group is not None
+                       else 0),
+        }
+
+    # -------------------------------------------------- background retune
+    def retune(self, fingerprint: str, coo: COOMatrix) -> bool:
+        """Measured re-tune of a predicted plan (the feedback loop).
+
+        Runs the full sweep, records whether the prediction was right
+        (``autoplan.predictions{outcome=override}`` when the sweep
+        disagrees, ``autoplan.retunes_confirmed`` when it agrees),
+        swaps in the tuned plan on an override, and feeds the verdict
+        back to the corpus as a ``feedback`` sample. Returns True when
+        the predicted plan was overridden.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+        if entry is None or not entry.predicted:
+            return False
+        predicted_label = entry.autoplan_label
+        outcome = self.engine.plan_auto(
+            coo, n_threads=entry.plan.n_threads, backend=self.backend,
+            mode="tune",
+        )
+        overridden = outcome.label != predicted_label
+        if overridden:
+            # Materialize outside the lock; swap under it.
+            matrix = outcome.plan.materialize(coo)
+            with self._lock:
+                live = self._entries.get(fingerprint)
+                if live is entry:
+                    self._total_bytes -= entry.footprint_bytes
+                    entry.plan = outcome.plan
+                    entry.matrix = matrix
+                    entry.footprint_bytes = matrix.footprint_bytes()
+                    entry.plan_path = "tune"
+                    self._total_bytes += entry.footprint_bytes
+                    _metrics.gauge("serve.registry_bytes",
+                                   self._total_bytes)
+            _metrics.inc("autoplan.predictions", outcome="override")
+        else:
+            _metrics.inc("autoplan.retunes_confirmed")
+        entry.predicted = False
+        entry.autoplan_label = outcome.label
+        if self.plan_cache is not None and outcome.features is not None:
+            self.plan_cache.store(fingerprint, outcome.plan, autoplan={
+                "source": "feedback",
+                "label": outcome.label,
+                "fmt": outcome.fmt,
+                "confidence": entry.autoplan_confidence,
+                "weight": outcome.margin,
+                "tuning_seconds": outcome.tuning_seconds,
+                "features": outcome.features.to_list(),
+                "feature_version": outcome.features.version,
+                "n_threads": entry.plan.n_threads,
+                "shards": (entry.shard_group.n_shards
+                           if entry.sharded
+                           and entry.shard_group is not None else 0),
+                "predicted_label": predicted_label,
+                "overridden": overridden,
+            })
+        return overridden
 
     def _admit(self, entry: RegistryEntry) -> None:
         """Insert under the memory budget, evicting LRU entries.

@@ -140,6 +140,26 @@ class BatchScheduler:
             self._dispatch(ready)
         return fut
 
+    def submit_task(self, fn) -> Future:
+        """Run a background task (e.g. an autoplan re-tune) on the
+        worker pool, tracked by the in-flight count so :meth:`drain`
+        and :meth:`close` wait for it like any batch."""
+        with self._cv:
+            if self._closed:
+                raise ServeError("scheduler is closed")
+            self._n_inflight += 1
+
+        def run():
+            try:
+                fn()
+            finally:
+                with self._cv:
+                    self._n_inflight -= 1
+                    self._cv.notify_all()
+
+        _metrics.inc("serve.background_tasks")
+        return self.pool.submit(run)
+
     # ------------------------------------------------------- dispatching
     def _dispatch(self, group: _Group) -> None:
         with self._cv:

@@ -1,0 +1,145 @@
+"""Corpus round-trip, corruption tolerance, and version migration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.autoplan.corpus import (
+    CORPUS_VERSION,
+    CorpusSample,
+    PlanCorpus,
+)
+from repro.autoplan.features import FEATURE_VERSION
+from repro.observe.metrics import get_registry
+
+
+def sample(i: int = 0, **kw) -> CorpusSample:
+    defaults = dict(
+        features=(1.0 + i, 2.0, 3.0), label="bcsr-2x2",
+        fmt="bcsr-2x2-16bit", backend="numpy", machine="AMD X2",
+        fingerprint=f"fp{i}", n_threads=2, shards=0, weight=1.3,
+        tuning_seconds=0.05, source="sweep",
+    )
+    defaults.update(kw)
+    return CorpusSample(**defaults)
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        corpus = PlanCorpus(tmp_path / "c.jsonl")
+        for i in range(3):
+            corpus.append(sample(i))
+        loaded = corpus.load()
+        assert len(loaded) == 3
+        assert loaded[0] == sample(0)
+        assert loaded[2].fingerprint == "fp2"
+
+    def test_records_stamp_versions(self, tmp_path):
+        corpus = PlanCorpus(tmp_path / "c.jsonl")
+        corpus.append(sample())
+        rec = json.loads((tmp_path / "c.jsonl").read_text())
+        assert rec["v"] == CORPUS_VERSION
+        assert rec["feature_version"] == FEATURE_VERSION
+        assert "repro_version" in rec
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert PlanCorpus(tmp_path / "absent.jsonl").load() == []
+
+    def test_len(self, tmp_path):
+        corpus = PlanCorpus(tmp_path / "c.jsonl")
+        assert len(corpus) == 0
+        corpus.append(sample())
+        assert len(corpus) == 1
+
+
+class TestCorruptionTolerance:
+    def test_torn_line_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        corpus = PlanCorpus(path)
+        corpus.append(sample(0))
+        corpus.append(sample(1))
+        text = path.read_text()
+        # a crash mid-append leaves a torn final line
+        path.write_text(text + text.splitlines()[0][: len(text) // 4])
+        reg = get_registry()
+        before = reg.counter("autoplan.corpus_skipped", reason="corrupt")
+        loaded = corpus.load()
+        assert len(loaded) == 2
+        assert reg.counter("autoplan.corpus_skipped",
+                           reason="corrupt") == before + 1
+
+    @pytest.mark.parametrize("junk", [
+        "not json at all",
+        '"a bare string"',
+        "[1, 2, 3]",
+        '{"v": 2}',          # object but missing required keys
+    ])
+    def test_junk_lines_skipped(self, tmp_path, junk):
+        path = tmp_path / "c.jsonl"
+        corpus = PlanCorpus(path)
+        corpus.append(sample())
+        with open(path, "a") as f:
+            f.write(junk + "\n")
+        assert len(corpus.load()) == 1
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        corpus = PlanCorpus(path)
+        corpus.append(sample())
+        with open(path, "a") as f:
+            f.write("\n\n")
+        corpus.append(sample(1))
+        assert len(corpus.load()) == 2
+
+
+class TestVersionMigration:
+    def test_v1_records_migrate_deterministically(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        v1 = {
+            "v": 1, "features": [1.0, 2.0, 3.0], "label": "csr",
+            "format": "csr-1x1-32bit",   # v1 key name
+            "backend": "numpy", "machine": "AMD X2",
+            "fingerprint": "old", "n_threads": 1, "shards": 0,
+            "weight": 1.1, "tuning_seconds": 0.2,
+            "feature_version": FEATURE_VERSION,
+        }
+        path.write_text(json.dumps(v1) + "\n")
+        first = PlanCorpus(path).load()
+        second = PlanCorpus(path).load()
+        assert first == second            # deterministic
+        (s,) = first
+        assert s.fmt == "csr-1x1-32bit"   # format -> fmt
+        assert s.source == "sweep"        # v1 had no feedback loop
+
+    def test_unknown_future_version_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        rec = sample().to_record()
+        rec["v"] = CORPUS_VERSION + 1
+        path.write_text(json.dumps(rec) + "\n")
+        reg = get_registry()
+        before = reg.counter("autoplan.corpus_skipped", reason="stale")
+        assert PlanCorpus(path).load() == []
+        assert reg.counter("autoplan.corpus_skipped",
+                           reason="stale") == before + 1
+
+    def test_feature_version_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        rec = sample().to_record()
+        rec["feature_version"] = FEATURE_VERSION + 1
+        path.write_text(json.dumps(rec) + "\n")
+        assert PlanCorpus(path).load() == []
+
+    def test_mixed_file_keeps_only_valid(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        corpus = PlanCorpus(path)
+        corpus.append(sample(0))
+        stale = sample(1).to_record()
+        stale["v"] = 99
+        with open(path, "a") as f:
+            f.write(json.dumps(stale) + "\n")
+            f.write("garbage\n")
+        corpus.append(sample(2))
+        loaded = corpus.load()
+        assert [s.fingerprint for s in loaded] == ["fp0", "fp2"]

@@ -1,0 +1,236 @@
+"""End-to-end learned plan selection (the ISSUE's acceptance tests).
+
+A corpus is grown by sweeping a small family of structurally similar
+matrices; a model trained on it must then route a *new* member of the
+family down the predict path (no sweep spans, plan within 15% of the
+fully-tuned plan's measured SpMV time) while an out-of-distribution
+matrix falls back to the sweep, and a crashing predictor never breaks
+registration.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autoplan import AutoPlanner, train_model
+from repro.autoplan.corpus import CorpusSample
+from repro.autoplan.features import extract_features
+from repro.autoplan.predictor import plan_with_autoplan
+from repro.autoplan.sweep import run_sweep
+from repro.core import SpmvEngine
+from repro.formats import COOMatrix
+from repro.kernels.registry import spmv_backend
+from repro.machines import get_machine
+from repro.matrices import fem_blocked_matrix, scattered_matrix
+from repro.observe import trace
+from repro.observe.metrics import get_registry
+from repro.serve import MatrixRegistry, PlanCache
+
+
+def family_member(seed: int) -> COOMatrix:
+    """One member of a blocky FEM-like family (BCSR territory)."""
+    return fem_blocked_matrix(240, 4, 24, bandwidth_frac=0.1, seed=seed)
+
+
+def scatter_member(seed: int) -> COOMatrix:
+    """One member of a scattered family (CSR territory)."""
+    return scattered_matrix(300, 8, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def trained_planner(tmp_path_factory):
+    """Corpus over both families with pinned labels, model saved.
+
+    Features are extracted from real matrices, but the labels are
+    pinned (FEM family -> "csr", scatter family -> "heuristic") so the
+    trained model — and every test below — is deterministic. Measured
+    sweep labels are timing-noisy on matrices this small; the
+    statistical accuracy of sweep-labeled training is exercised by
+    ``examples/autoplan_smoke.py`` instead.
+    """
+    root = tmp_path_factory.mktemp("autoplan")
+    planner = AutoPlanner(root)
+    for seed in range(6):
+        for coo, label in [(family_member(seed), "csr"),
+                           (scatter_member(seed), "heuristic")]:
+            fv = extract_features(coo)
+            planner.corpus.append(CorpusSample(
+                features=tuple(fv.to_list()), label=label,
+                fmt="csr-1x1-16bit", backend="numpy", machine="AMD X2",
+                fingerprint=f"{label}-{seed}", n_threads=2, shards=0,
+                weight=1.3, tuning_seconds=0.02, source="sweep",
+            ))
+    samples = planner.corpus.load()
+    assert len(samples) == 12
+    train_model(samples, k=3).save(planner.model_path)
+    planner.reload()
+    return planner
+
+
+class TestPredictPath:
+    def test_similar_matrix_skips_sweep(self, trained_planner):
+        engine = SpmvEngine(get_machine("AMD X2"))
+        coo = family_member(seed=100)   # unseen family member
+        tracer = trace.enable()
+        try:
+            outcome = plan_with_autoplan(
+                engine, coo, n_threads=2, mode="auto",
+                planner=trained_planner,
+            )
+        finally:
+            trace.disable()
+        assert outcome.path == "predict"
+        assert outcome.confidence >= trained_planner.confidence_threshold
+        assert "autoplan.sweep" not in tracer.names()
+        assert "autoplan.sweep.candidate" not in tracer.names()
+
+    def test_predicted_plan_within_15pct_of_tuned(self, trained_planner):
+        engine = SpmvEngine(get_machine("AMD X2"))
+        coo = family_member(seed=101)
+        outcome = plan_with_autoplan(
+            engine, coo, n_threads=2, mode="auto",
+            planner=trained_planner,
+        )
+        assert outcome.path == "predict"
+        tuned = run_sweep(engine, coo, n_threads=2, iters=3)
+
+        def best_time(plan) -> float:
+            matrix = plan.materialize(coo)
+            x = np.random.default_rng(0).standard_normal(coo.ncols)
+            spmv_backend(matrix, x)     # warm
+            best = float("inf")
+            for _ in range(7):
+                t0 = time.perf_counter()
+                spmv_backend(matrix, x)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_pred = best_time(outcome.plan)
+        t_tuned = best_time(tuned.plan)
+        assert t_pred <= t_tuned * 1.15
+
+    def test_registry_cold_registration_takes_predict_path(
+        self, trained_planner, tmp_path,
+    ):
+        registry = MatrixRegistry(
+            get_machine("AMD X2"), n_threads=2, plan_mode="auto",
+            autoplanner=trained_planner,
+            plan_cache=PlanCache(tmp_path / "plans",
+                                 corpus=trained_planner.corpus),
+        )
+        reg = get_registry()
+        hits_before = reg.counter("autoplan.predictions", outcome="hit")
+        entry = registry.register(family_member(seed=102))
+        assert entry.plan_path == "predict"
+        assert entry.predicted is True
+        assert entry.autoplan_label
+        assert reg.counter("autoplan.predictions",
+                           outcome="hit") == hits_before + 1
+        # registration latency is accounted per path
+        assert reg.histogram("autoplan.registration_seconds",
+                             path="predict").count >= 1
+
+
+class TestFallback:
+    def test_dissimilar_matrix_falls_back(self, trained_planner):
+        engine = SpmvEngine(get_machine("AMD X2"))
+        # far outside both training families: one dense row, huge
+        # aspect ratio
+        n = 4000
+        ood = COOMatrix((2, n), np.zeros(n, dtype=np.int64),
+                        np.arange(n), np.ones(n))
+        reg = get_registry()
+        before = reg.counter("autoplan.predictions", outcome="fallback")
+        outcome = plan_with_autoplan(
+            engine, ood, n_threads=1, mode="auto",
+            planner=trained_planner,
+        )
+        assert outcome.path == "tune"
+        assert outcome.fallback_reason == "low_confidence"
+        assert reg.counter("autoplan.predictions",
+                           outcome="fallback") == before + 1
+
+    def test_no_model_falls_back(self, tmp_path):
+        engine = SpmvEngine(get_machine("AMD X2"))
+        planner = AutoPlanner(tmp_path)   # empty dir: no artifact
+        outcome = plan_with_autoplan(
+            engine, family_member(0), n_threads=1, mode="predict",
+            planner=planner,
+        )
+        assert outcome.path == "tune"
+        assert outcome.fallback_reason == "no_model"
+
+    def test_model_trained_after_startup_is_picked_up(self, tmp_path):
+        """A long-running planner notices a newly trained artifact
+        (offline `autoplan train`) without an explicit reload()."""
+        planner = AutoPlanner(tmp_path)
+        fv = extract_features(family_member(0))
+        assert planner.predict(fv) is None      # caches "no model"
+        corpus = [CorpusSample(
+            features=tuple(extract_features(family_member(s)).to_list()),
+            label="csr", fmt="csr-1x1-16bit", backend="numpy",
+            machine="AMD X2", fingerprint=f"f{s}", n_threads=2,
+            shards=0, weight=1.2, tuning_seconds=0.01, source="sweep",
+        ) for s in range(1, 5)]
+        train_model(corpus, k=3).save(planner.model_path)
+        pred = planner.predict(fv)              # no reload() call
+        assert pred is not None and pred.label == "csr"
+
+    def test_predictor_crash_degrades_to_sweep(self, trained_planner,
+                                               monkeypatch, tmp_path):
+        """Acceptance: prediction never crashes registration."""
+        monkeypatch.setattr(
+            type(trained_planner), "predict",
+            lambda self, fv: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        registry = MatrixRegistry(
+            get_machine("AMD X2"), n_threads=2, plan_mode="auto",
+            autoplanner=trained_planner,
+            plan_cache=PlanCache(tmp_path / "plans"),
+        )
+        reg = get_registry()
+        errs_before = reg.counter("autoplan.predict_errors")
+        entry = registry.register(family_member(seed=103))
+        assert entry.plan_path == "tune"    # swept, not crashed
+        assert reg.counter("autoplan.predict_errors") == errs_before + 1
+
+
+class TestFeedbackLoop:
+    def test_retune_confirms_or_overrides_and_feeds_corpus(
+        self, trained_planner, tmp_path,
+    ):
+        planner = trained_planner
+        cache = PlanCache(tmp_path / "plans", corpus=planner.corpus)
+        registry = MatrixRegistry(
+            get_machine("AMD X2"), n_threads=2, plan_mode="auto",
+            autoplanner=planner, plan_cache=cache,
+        )
+        coo = family_member(seed=104)
+        entry = registry.register(coo)
+        assert entry.predicted is True
+        n_before = len(planner.corpus.load())
+        registry.retune(entry.fingerprint, coo)
+        assert entry.predicted is False
+        samples = planner.corpus.load()
+        assert len(samples) == n_before + 1
+        assert samples[-1].source == "feedback"
+
+    def test_serve_client_background_retune_drains(self, tmp_path):
+        from repro.observe.hub import uninstall_hub
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(
+            plan_cache_dir=tmp_path / "cache", plan_mode="auto",
+        )
+        try:
+            coo = family_member(seed=0)
+            entry = client.register(coo)     # no model yet: tune path
+            assert entry.plan_path == "tune"
+            client.drain()                   # waits for any retunes
+            assert len(client.autoplanner.corpus.load()) == 1
+        finally:
+            client.close()
+            uninstall_hub()

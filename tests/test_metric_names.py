@@ -62,6 +62,9 @@ DOCUMENTED = {
     # SLO accounting (observe/slo.py, fed by the scheduler)
     "slo.request_seconds": "histogram",
     "slo.phase_seconds": "histogram",
+    # learned plan selection (autoplan/, fed by registry.register)
+    "autoplan.predictions": "counter",
+    "autoplan.registration_seconds": "histogram",
 }
 
 
@@ -84,6 +87,7 @@ def smoke_registry():
     )
     client = ServeClient(
         shards=2, shard_threshold_bytes=1, trace_sample_rate=1.0,
+        plan_mode="auto",   # no model yet: emits the fallback outcome
     )
     try:
         fp = client.register(coo).fingerprint

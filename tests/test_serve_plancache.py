@@ -156,3 +156,92 @@ class TestRegistryCacheIntegration:
         assert e.plan.n_threads == 2
         assert reg.counter("serve.plan_cache_thread_mismatch") \
             == before + 1
+
+
+class TestAutoplanProvenance:
+    """Satellite: the envelope gained tuning wall-clock + margin via an
+    optional ``autoplan`` key — older entries (without it) must still
+    load, and provenance-bearing stores feed the training corpus."""
+
+    def _provenance(self, features=(1.0, 2.0, 3.0), source="sweep"):
+        from repro.autoplan.features import FEATURE_VERSION
+        return {
+            "source": source, "label": "csr", "fmt": "csr-1x1-16bit",
+            "confidence": 0.0, "weight": 1.4, "tuning_seconds": 0.21,
+            "features": list(features),
+            "feature_version": FEATURE_VERSION,
+            "n_threads": 2, "shards": 0,
+        }
+
+    def test_envelope_without_autoplan_key_still_loads(
+        self, engine, tmp_path,
+    ):
+        """Entries written before the autoplan fields existed load."""
+        coo = random_coo(120, 120, 0.04, seed=11)
+        plan = engine.plan(coo, n_threads=2)
+        cache = PlanCache(tmp_path)
+        fp = coo.content_fingerprint()
+        path = cache.store(fp, plan)
+        envelope = json.loads(path.read_text())
+        envelope.pop("autoplan", None)   # simulate a pre-autoplan entry
+        path.write_text(json.dumps(envelope))
+        loaded = cache.load(plan.machine.name, fp)
+        assert loaded is not None
+        assert plans_equal(plan, loaded)
+
+    def test_store_with_provenance_records_envelope_fields(
+        self, engine, tmp_path,
+    ):
+        coo = random_coo(100, 100, 0.05, seed=12)
+        plan = engine.plan(coo, n_threads=1)
+        cache = PlanCache(tmp_path)
+        path = cache.store(coo.content_fingerprint(), plan,
+                           autoplan=self._provenance())
+        envelope = json.loads(path.read_text())
+        assert envelope["autoplan"]["tuning_seconds"] == 0.21
+        assert envelope["autoplan"]["weight"] == 1.4
+
+    def test_sweep_store_feeds_attached_corpus(self, engine, tmp_path):
+        from repro.autoplan.corpus import PlanCorpus
+        corpus = PlanCorpus(tmp_path / "corpus.jsonl")
+        cache = PlanCache(tmp_path / "plans", corpus=corpus)
+        coo = random_coo(100, 100, 0.05, seed=13)
+        cache.store(coo.content_fingerprint(),
+                    engine.plan(coo, n_threads=1),
+                    autoplan=self._provenance())
+        samples = corpus.load()
+        assert len(samples) == 1
+        assert samples[0].label == "csr"
+        assert samples[0].tuning_seconds == 0.21
+
+    def test_predicted_store_does_not_feed_corpus(
+        self, engine, tmp_path,
+    ):
+        """Predictions must not train on themselves."""
+        from repro.autoplan.corpus import PlanCorpus
+        corpus = PlanCorpus(tmp_path / "corpus.jsonl")
+        cache = PlanCache(tmp_path / "plans", corpus=corpus)
+        coo = random_coo(100, 100, 0.05, seed=14)
+        cache.store(coo.content_fingerprint(),
+                    engine.plan(coo, n_threads=1),
+                    autoplan=self._provenance(source="predict"))
+        assert len(corpus.load()) == 0
+
+    def test_export_corpus_round_trips(self, engine, tmp_path):
+        from repro.autoplan.corpus import PlanCorpus
+        cache = PlanCache(tmp_path / "plans")
+        fps = []
+        for seed in (15, 16):
+            coo = random_coo(90, 90, 0.05, seed=seed)
+            fp = coo.content_fingerprint()
+            fps.append(fp)
+            cache.store(fp, engine.plan(coo, n_threads=1),
+                        autoplan=self._provenance())
+        # one legacy entry without provenance: skipped, not fatal
+        coo = random_coo(50, 50, 0.05, seed=17)
+        cache.store(coo.content_fingerprint(),
+                    engine.plan(coo, n_threads=1))
+        out = tmp_path / "exported.jsonl"
+        assert cache.export_corpus(out) == 2
+        samples = PlanCorpus(out).load()
+        assert sorted(s.fingerprint for s in samples) == sorted(fps)
