@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Performance-observability smoke test: ceilings → attribution →
+watchdog, end to end on whatever machine runs it.
+
+The CI perf-smoke job runs this:
+
+1. measure the runner's machine ceilings with a small STREAM-style
+   suite (no cache file — CI runners are ephemeral),
+2. boot the HTTP service over a 2-shard group with perf-watch on and
+   every matrix forced onto the sharded path,
+3. register a small suite of matrices and fire SpMV/SpMM requests at
+   each; assert ``/metrics`` shows per-shard ``perf.gflops`` and
+   ``perf.roofline_fraction`` series and that every observed roofline
+   fraction is finite and in (0, 1.5],
+4. fetch ``GET /v1/debug/perf`` and assert the ceilings envelope and
+   per-matrix fraction EWMAs are reported,
+5. throttle the sharded compute path (sleep-injected wrapper around
+   the shard group's SpMV) and assert the sustained slowdown trips
+   the watchdog:
+   ``perf.regressions`` increments and the event names the regressed
+   matrix.
+
+Exits 0 on success, 1 (with a traceback) on any failure.
+
+Run: ``PYTHONPATH=src python examples/perf_smoke.py``
+"""
+
+import json
+import math
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.matrices import generate
+from repro.observe.perf import measure_ceilings
+from repro.serve import ServeClient, start_server, stop_server
+
+SUITE = ["Dense", "FEM-Har", "Epidem"]
+N_REQUESTS = 12
+
+
+def post(url: str, body: dict):
+    req = urllib.request.Request(url, data=json.dumps(body).encode())
+    with urllib.request.urlopen(req, timeout=30) as r:
+        return r.status, json.loads(r.read())
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as r:
+        return r.status, r.read().decode()
+
+
+def main() -> None:
+    # 1. measure this runner's ceilings: small buffers, one repeat —
+    # the smoke test checks plumbing, not bandwidth precision.
+    ceilings = measure_ceilings(mb=8, repeats=2, probe_spmv=False)
+    print(f"ceilings: {ceilings.sustained_gbs:.1f} GB/s sustained, "
+          f"{ceilings.peak_gflops:.1f} Gflop/s peak "
+          f"({ceilings.n_cores} cores)")
+    assert ceilings.sustained_gbs > 0 and ceilings.peak_gflops > 0
+
+    client = ServeClient(
+        shards=2, shard_threshold_bytes=1, flush_deadline_s=0.05,
+        perf_watch=ceilings,
+    )
+    httpd = start_server(client, port=0)
+    base = f"http://127.0.0.1:{httpd.port}"
+    print(f"serving on {base} with 2 shards, perf-watch on")
+
+    try:
+        rng = np.random.default_rng(0)
+        fps, ncols = {}, {}
+        for name in SUITE:
+            ncols[name] = generate(name, scale=0.05, seed=0).ncols
+            _, reg = post(f"{base}/v1/matrices",
+                          {"generate": name, "scale": 0.05, "seed": 0})
+            fps[name] = reg["fingerprint"]
+        for name in SUITE:
+            for _ in range(N_REQUESTS):
+                x = rng.standard_normal(ncols[name])
+                post(f"{base}/v1/spmv",
+                     {"fingerprint": fps[name], "x": x.tolist()})
+        print(f"{len(SUITE) * N_REQUESTS} requests served")
+
+        # 3. per-shard roofline series on the merged scrape page
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            _, metrics = get(f"{base}/metrics")
+            if ("repro_perf_gflops_bucket{" in metrics
+                    and "repro_perf_roofline_fraction_bucket{"
+                    in metrics
+                    and 'shard="0"' in metrics
+                    and 'shard="1"' in metrics):
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError(
+                "perf.* histograms never reached the parent scrape")
+        print("merged /metrics shows per-shard roofline series")
+
+        # every recorded fraction is finite and physically plausible:
+        # the compulsory-traffic model allows >1.0 only for
+        # cache-resident reuse, bounded well under 1.5.
+        fractions = [
+            v for key, v in client.watchdog.fractions().items()
+            if v == v
+        ]
+        assert fractions, "watchdog saw no roofline fractions"
+        for frac in fractions:
+            assert math.isfinite(frac) and 0.0 < frac <= 1.5, (
+                f"implausible roofline fraction {frac}")
+        print(f"{len(fractions)} matrix/plan fraction EWMAs, all in "
+              f"(0, 1.5]: max {max(fractions):.3f}")
+
+        # 4. the debug endpoint carries the ceilings + fractions
+        _, body = get(f"{base}/v1/debug/perf")
+        rpt = json.loads(body)
+        assert rpt["perf_watch"] is True
+        assert rpt["ceilings"]["copy_gbs_single"] > 0
+        assert rpt["host"]["n_cores"] == ceilings.n_cores
+        assert rpt["top_fractions"], "no per-matrix fractions reported"
+        print("GET /v1/debug/perf reports ceilings + fractions")
+
+        # 5. sleep-injected kernel wrapper: every matrix here runs on
+        # the sharded path, so throttle the shard group's SpMV entry
+        # point — the sustained slowdown must trip the watchdog
+        # within a handful of requests.
+        from repro.dist.group import ShardGroup
+
+        wd = client.watchdog
+        wd.min_samples, wd.sustain = 3, 2
+        real_spmv = ShardGroup.spmv
+
+        def throttled(self, fingerprint, x):
+            time.sleep(0.05)
+            return real_spmv(self, fingerprint, x)
+
+        name = SUITE[0]
+        n_before = len(wd.events)
+        ShardGroup.spmv = throttled
+        try:
+            for _ in range(8):
+                x = rng.standard_normal(ncols[name])
+                post(f"{base}/v1/spmv",
+                     {"fingerprint": fps[name], "x": x.tolist()})
+                if len(wd.events) > n_before:
+                    break
+        finally:
+            ShardGroup.spmv = real_spmv
+        fired = [e for e in wd.events[n_before:]
+                 if e.fingerprint == fps[name]]
+        assert fired, "throttled backend never tripped the watchdog"
+        event = fired[-1]
+        _, body = get(f"{base}/v1/debug/perf")
+        rpt = json.loads(body)
+        assert rpt["regressions"] >= 1
+        print(f"watchdog fired: {event.key} "
+              f"{event.baseline_gflops:.3f} -> "
+              f"{event.observed_gflops:.3f} Gflop/s "
+              f"({event.drop_fraction:.0%} drop)")
+        print("PERF SMOKE OK")
+    finally:
+        stop_server(httpd)
+        client.close()
+
+
+if __name__ == "__main__":
+    main()

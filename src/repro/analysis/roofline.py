@@ -9,6 +9,7 @@ kernels on them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,8 +29,15 @@ class RooflinePoint:
 
     @property
     def efficiency(self) -> float:
-        """Achieved / attainable at this intensity."""
-        return self.gflops / self.bound_gflops if self.bound_gflops else 0.0
+        """Achieved / attainable at this intensity.
+
+        ``nan`` when the bound is zero (degenerate placement — zero
+        intensity or an empty kernel): "efficiency is undefined" must
+        not be confusable with "achieved 0% of the bound".
+        """
+        if self.bound_gflops == 0:
+            return math.nan
+        return self.gflops / self.bound_gflops
 
 
 def roofline_model(

@@ -295,6 +295,8 @@ def _cmd_serve(args) -> int:
         slo_ms=args.slo_ms,
         plan_mode=args.plan_mode,
         autoplan_dir=args.autoplan_dir,
+        perf_watch=args.perf_watch,
+        profile_dir=args.profile_dir,
     )
     httpd = ServeHTTPServer((args.host, args.port), client)
     print(
@@ -310,6 +312,87 @@ def _cmd_serve(args) -> int:
     finally:
         httpd.server_close()
         client.close()
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    """Roofline observability: measure/show host ceilings, fetch a
+    running server's perf report, or collate flamegraph profiles."""
+    import json as _json
+
+    if args.action == "ceilings":
+        from .observe.perf import get_ceilings, host_fingerprint
+
+        ceilings = get_ceilings(args.cache, remeasure=args.measure)
+        if args.json:
+            print(_json.dumps({"host": host_fingerprint(),
+                               "ceilings": ceilings.to_json()},
+                              indent=2))
+            return 0
+        print(f"host: {host_fingerprint()['cpu']} "
+              f"({ceilings.n_cores} cores)")
+        print(f"  copy   {ceilings.copy_gbs_single:8.2f} GB/s single"
+              f"  {ceilings.copy_gbs_all:8.2f} GB/s all-core")
+        print(f"  triad  {ceilings.triad_gbs_single:8.2f} GB/s single"
+              f"  {ceilings.triad_gbs_all:8.2f} GB/s all-core")
+        print(f"  peak   {ceilings.peak_gflops_single:8.2f} GF/s single"
+              f"  {ceilings.peak_gflops_all:8.2f} GF/s all-core")
+        for be, rate in sorted(ceilings.spmv_probe_gflops.items()):
+            print(f"  spmv probe [{be}] {rate:.3f} GF/s")
+        return 0
+
+    if args.action == "report":
+        from urllib.error import HTTPError, URLError
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/v1/debug/perf"
+        try:
+            with urlopen(url, timeout=args.timeout) as resp:
+                report = _json.loads(resp.read())
+        except (HTTPError, URLError, OSError) as exc:
+            print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(_json.dumps(report, indent=2))
+            return 0
+        print(f"perf_watch: {report.get('perf_watch')}")
+        ceilings = report.get("ceilings")
+        if ceilings:
+            print(f"ceilings: {ceilings['n_cores']} cores, sustained "
+                  f"{max(ceilings['copy_gbs_all'], ceilings['triad_gbs_all'], ceilings['copy_gbs_single'], ceilings['triad_gbs_single']):.2f} GB/s")
+        print(f"regressions: {report.get('regressions', 0)}")
+        for row in report.get("bottom_fractions", []):
+            print(f"  low  {row['roofline_fraction']:6.3f}  "
+                  f"{row['fingerprint']}")
+        for row in report.get("top_fractions", []):
+            print(f"  high {row['roofline_fraction']:6.3f}  "
+                  f"{row['fingerprint']}")
+        for ev in report.get("events", []):
+            print(f"  regression {ev['fingerprint']} [{ev['key']}]: "
+                  f"{ev['baseline_gflops']:.3f} -> "
+                  f"{ev['observed_gflops']:.3f} GF/s")
+        return 0
+
+    # flame
+    from .observe.perf import collate_stacks, render_collapsed
+
+    if not args.profile_dir:
+        print("error: perf flame requires a profile directory "
+              "(serve --profile-dir)", file=sys.stderr)
+        return 1
+    counts = collate_stacks(args.profile_dir)
+    if not counts:
+        print(f"error: no .stacks profiles under {args.profile_dir}",
+              file=sys.stderr)
+        return 1
+    text = render_collapsed(counts)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(counts)} stacks to {args.out}",
+              file=sys.stderr)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -791,6 +874,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--autoplan-dir", metavar="DIR", default=None,
                     help="autoplan corpus + model directory "
                          "(default: the --plan-cache dir)")
+    sp.add_argument("--perf-watch", action="store_true",
+                    help="roofline attribution + regression watchdog "
+                         "(measures host ceilings on first run, "
+                         "cached; see /v1/debug/perf)")
+    sp.add_argument("--profile-dir", metavar="DIR", default=None,
+                    help="opt-in stack sampling profiler: collapsed-"
+                         "stack .stacks files for the parent and each "
+                         "shard land in DIR (repro perf flame DIR)")
 
     sp = sub.add_parser(
         "trace",
@@ -865,6 +956,32 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default autoplan_corpus.jsonl)")
 
     sp = sub.add_parser(
+        "perf",
+        help="roofline observability: ceilings / report / flame",
+        parents=[common],
+    )
+    sp.add_argument("action", choices=["ceilings", "report", "flame"])
+    sp.add_argument("profile_dir", nargs="?", default=None,
+                    help="flame: directory of .stacks profiles "
+                         "(serve --profile-dir)")
+    sp.add_argument("--measure", action="store_true",
+                    help="ceilings: force a re-measurement even when "
+                         "a valid cache exists")
+    sp.add_argument("--cache", default=None,
+                    help="ceilings cache path (default "
+                         "~/.cache/repro/ceilings.json or "
+                         "REPRO_CEILINGS_CACHE)")
+    sp.add_argument("--url", default="http://127.0.0.1:8377",
+                    help="report: base URL of the repro serve "
+                         "instance")
+    sp.add_argument("--timeout", type=float, default=5.0)
+    sp.add_argument("--json", action="store_true",
+                    help="print raw JSON")
+    sp.add_argument("-o", "--out", default=None,
+                    help="flame: write collapsed stacks to FILE "
+                         "(default stdout)")
+
+    sp = sub.add_parser(
         "autoplan",
         help="learned plan selection: train / predict / report",
         parents=[common],
@@ -908,6 +1025,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "plan-cache": _cmd_plan_cache,
     "autoplan": _cmd_autoplan,
+    "perf": _cmd_perf,
     "dist-bench": _cmd_dist_bench,
     "bench": _cmd_bench,
     "kernels": _cmd_kernels,

@@ -44,6 +44,9 @@ from ..observe import context as _context
 from ..observe import metrics as _metrics
 from ..observe import trace as _trace
 from ..observe.flush import DeltaFlusher
+from ..observe.perf.attribution import KernelCounts as _KernelCounts
+from ..observe.perf.attribution import observe_kernel as _observe_kernel
+from ..observe.perf.sampler import StackSampler
 from ..observe.ring import SpanRing
 from .shm import SegmentSpec, attach_array, attach_csr
 
@@ -62,6 +65,10 @@ class _ResidentMatrix:
         # row: y is the group-shared (nrows, k_cap) buffer, this shard
         #      owns rows [lo, hi); col: y is this shard's private
         #      (nrows, k_cap) partial buffer.
+        # Flop/byte counts of this slab, computed once at registration:
+        # the compute hot path attributes each round against them
+        # without re-walking the footprint.
+        self.counts = _KernelCounts.for_matrix(self.slab)
 
     def compute(self, k: int) -> None:
         if self.path == "row":
@@ -73,13 +80,18 @@ class _ResidentMatrix:
         y[...] = 0.0
         if self.backend == "c":
             # Parent resolved the backend, but this process may still
-            # lack the compiler (exec'd children, changed env): go
-            # through "auto" so the slab degrades to NumPy rather than
-            # failing the compute round.
-            from ..kernels.registry import spmm_backend
+            # lack the compiler (exec'd children, changed env): resolve
+            # "auto" so the slab degrades to NumPy rather than failing
+            # the compute round. The raw kernels are called directly —
+            # _run_compute attributes the round with the shard label,
+            # so the emitting spmm_backend wrapper would double-count.
+            from ..kernels.registry import resolve_backend
 
-            spmm_backend(self.slab, x, y, backend="auto")
-            return
+            if resolve_backend("auto") == "c":
+                from ..kernels.cbackend import spmm_c
+
+                spmm_c(self.slab, x, y)
+                return
         # spmm's k==1 path is the exact single-vector spmv kernel, so
         # row-path results concatenate bit-identically to serial spmv.
         spmm(self.slab, x, y)
@@ -121,12 +133,19 @@ def _run_compute(resident: _ResidentMatrix, shard_id: int, mid: str,
     dt = time.perf_counter() - t0
     _metrics.inc("dist.child_computes", shard=shard_id)
     _metrics.observe("dist.child_compute_seconds", dt, shard=shard_id)
+    # Roofline attribution against the slab this shard actually holds;
+    # ceilings were configured in the parent before the fork, so the
+    # fraction is computed against the measured host roofline. The
+    # perf.* histograms ride the telemetry pipe to /metrics.
+    _observe_kernel(resident.slab, dt, k=k, backend=resident.backend,
+                    shard=shard_id, counts=resident.counts)
     return dt
 
 
 def shard_main(shard_id: int, conn, hb_spec: SegmentSpec,
                hb_interval_s: float, telemetry=None, ring_path=None,
-               flush_interval_s: float = 0.25) -> None:
+               flush_interval_s: float = 0.25,
+               profile_path=None) -> None:
     """Entry point of a shard worker process."""
     # Shards share the terminal's foreground process group, so a Ctrl-C
     # aimed at the parent would interrupt conn.recv() with a traceback.
@@ -148,6 +167,10 @@ def shard_main(shard_id: int, conn, hb_spec: SegmentSpec,
             interval_s=flush_interval_s,
         )
         flusher.start()
+    sampler = None
+    if profile_path is not None:
+        sampler = StackSampler(profile_path)
+        sampler.start()
     stop = threading.Event()
     threading.Thread(
         target=_beat, args=(hb_spec, shard_id, hb_interval_s, stop),
@@ -191,6 +214,8 @@ def shard_main(shard_id: int, conn, hb_spec: SegmentSpec,
                 conn.send(("err", None, None, f"unknown op {op!r}"))
     finally:
         stop.set()
+        if sampler is not None:
+            sampler.stop()
         if flusher is not None:
             flusher.stop(final_flush=True)
         if ring is not None:

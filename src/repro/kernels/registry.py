@@ -22,6 +22,7 @@ remains the default everywhere and the compiled path is opt-in.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Callable
 
@@ -108,23 +109,46 @@ def resolve_backend(backend: str) -> str:
 
 
 def spmv_backend(matrix, x, y=None, *, backend: str = "numpy"):
-    """``y ← y + A·x`` on the selected backend."""
-    if resolve_backend(backend) == "c":
+    """``y ← y + A·x`` on the selected backend.
+
+    Every call is roofline-attributed: wall time plus the matrix's
+    flop/byte counts feed the ``perf.*`` histograms (see
+    :mod:`repro.observe.perf.attribution`), so engine, serve, and dist
+    fallback paths all report achieved GFLOP/s without their own
+    instrumentation.
+    """
+    from ..observe.perf.attribution import observe_kernel
+
+    resolved = resolve_backend(backend)
+    t0 = time.perf_counter()
+    if resolved == "c":
         from .cbackend import spmv_c
 
-        return spmv_c(matrix, x, y)
-    return matrix.spmv(x, y)
+        out = spmv_c(matrix, x, y)
+    else:
+        out = matrix.spmv(x, y)
+    observe_kernel(matrix, time.perf_counter() - t0, backend=resolved)
+    return out
 
 
 def spmm_backend(matrix, x, y=None, *, backend: str = "numpy"):
-    """``Y ← Y + A·X`` on the selected backend."""
+    """``Y ← Y + A·X`` on the selected backend (roofline-attributed,
+    like :func:`spmv_backend`)."""
     from ..formats.multivector import spmm
+    from ..observe.perf.attribution import observe_kernel
 
-    if resolve_backend(backend) == "c":
+    resolved = resolve_backend(backend)
+    k = x.shape[1] if getattr(x, "ndim", 1) == 2 else 1
+    t0 = time.perf_counter()
+    if resolved == "c":
         from .cbackend import spmm_c
 
-        return spmm_c(matrix, x, y)
-    return spmm(matrix, x, y)
+        out = spmm_c(matrix, x, y)
+    else:
+        out = spmm(matrix, x, y)
+    observe_kernel(matrix, time.perf_counter() - t0, k=k,
+                   backend=resolved)
+    return out
 
 
 # ----------------------------------------------------------------------

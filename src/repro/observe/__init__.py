@@ -27,6 +27,13 @@ The cross-process observability plane (v2) adds:
   and merged into the parent registry (``/metrics`` sees the group);
 * :mod:`.slo` — fixed-bucket phase latency accounting and the p99
   slow-request sampler.
+
+The live roofline plane (v3) adds :mod:`.perf` — measured machine
+ceilings (STREAM-style microbenchmarks, cached per host), per-kernel
+roofline attribution (``perf.gflops``/``perf.roofline_fraction``
+histograms from every engine/serve/dist/threaded invocation), a
+GFLOP/s regression watchdog that arms force-sampling, and an opt-in
+collapsed-stack sampling profiler.
 """
 
 from .attribution import (
@@ -45,6 +52,16 @@ from .metrics import (
     MetricsRegistry,
     get_registry,
     render_prometheus,
+    sample_process_gauges,
+)
+from .perf import (
+    MachineCeilings,
+    PerfAttributor,
+    PerfWatchdog,
+    StackSampler,
+    get_ceilings,
+    measure_ceilings,
+    observe_kernel,
 )
 from .ring import SpanRing, collate, read_ring
 from .slo import SloTracker, SlowSample
@@ -68,12 +85,16 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DeltaFlusher",
     "HistogramSummary",
+    "MachineCeilings",
     "MetricsRegistry",
+    "PerfAttributor",
+    "PerfWatchdog",
     "NULL_SPAN",
     "SloTracker",
     "SlowSample",
     "SpanEvent",
     "SpanRing",
+    "StackSampler",
     "TRACE_HEADER",
     "TraceContext",
     "TraceHub",
@@ -85,15 +106,19 @@ __all__ = [
     "disable",
     "enable",
     "from_header",
+    "get_ceilings",
     "get_hub",
     "get_registry",
     "get_tracer",
     "install_hub",
     "is_enabled",
+    "measure_ceilings",
     "new_trace",
+    "observe_kernel",
     "read_ring",
     "read_trace",
     "render_prometheus",
+    "sample_process_gauges",
     "set_span_sink",
     "span",
     "uninstall_hub",

@@ -27,8 +27,10 @@ exports real ``_bucket{le=...}`` series.
 from __future__ import annotations
 
 import math
+import os
 import re
 import threading
+import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
@@ -337,7 +339,10 @@ def _parse_key(key: str) -> tuple[str, str]:
     parts = []
     for item in inner.split(","):
         k, _, v = item.partition("=")
-        v = v.replace("\\", "\\\\").replace('"', '\\"')
+        # Exposition-format escaping: backslash first, then quote and
+        # newline, so already-escaped sequences aren't double-mangled.
+        v = (v.replace("\\", "\\\\").replace('"', '\\"')
+             .replace("\n", "\\n"))
         parts.append(f'{_sanitize(k)}="{v}"')
     return name, "{" + ",".join(parts) + "}"
 
@@ -364,3 +369,50 @@ def observe(name: str, value: float, **labels) -> None:
 def render_prometheus(*, prefix: str = "repro_") -> str:
     """Prometheus exposition of the process-global registry."""
     return _REGISTRY.render_prometheus(prefix=prefix)
+
+
+#: Monotonic origin for ``process.uptime_seconds`` (module import time —
+#: effectively process start, since observe loads with the package).
+_PROCESS_START = time.monotonic()
+
+
+def _rss_bytes() -> int | None:
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(kb) * 1024  # peak, not current — best effort
+    except Exception:
+        return None
+
+
+def _open_fds() -> int | None:
+    for path in ("/proc/self/fd", "/dev/fd"):
+        try:
+            return len(os.listdir(path))
+        except OSError:
+            continue
+    return None
+
+
+def sample_process_gauges() -> None:
+    """Refresh the standard process gauges (``process.rss_bytes``,
+    ``process.open_fds``, ``process.uptime_seconds``).
+
+    Called on each ``/metrics`` scrape rather than on a timer: the
+    gauges are point-in-time by definition and scrape-driven sampling
+    costs nothing between scrapes.
+    """
+    rss = _rss_bytes()
+    if rss is not None:
+        gauge("process.rss_bytes", float(rss))
+    fds = _open_fds()
+    if fds is not None:
+        gauge("process.open_fds", float(fds))
+    gauge("process.uptime_seconds", time.monotonic() - _PROCESS_START)

@@ -1,0 +1,196 @@
+"""Performance-regression watchdog: EWMA baselines over achieved GFLOP/s.
+
+The serve scheduler feeds every batch's attributed rate here, keyed by
+(matrix fingerprint, ``format/backend``). Each key keeps an EWMA mean
+and an EWMA absolute deviation — a robust band that adapts to the
+matrix's natural rate without assuming a distribution. A single slow
+batch (GC pause, scheduler jitter) is noise; ``sustain`` *consecutive*
+observations below ``mean − band`` is a regression: the watchdog
+increments ``perf.regressions``, arms the force-sampling ring for the
+offending matrix (so the next requests are traced end-to-end no matter
+the sample rate), records a bounded :class:`RegressionEvent` history,
+and rebaselines to the degraded rate so it re-fires only on a *further*
+drop rather than alerting forever.
+
+The baseline is frozen while a drop streak is open — otherwise the
+EWMA would chase the degraded rate down and the sustained drop would
+never cross its own shrinking band.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..metrics import inc
+
+__all__ = ["PerfWatchdog", "RegressionEvent"]
+
+#: Bounded regression-event history (newest kept).
+MAX_EVENTS = 64
+
+
+@dataclass
+class RegressionEvent:
+    """One fired regression: what dropped, from where, to where."""
+
+    fingerprint: str
+    key: str                 # "format/backend"
+    baseline_gflops: float
+    observed_gflops: float
+    drop_fraction: float     # 1 - observed/baseline
+    fired_at: float = field(default_factory=time.time)
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "key": self.key,
+            "baseline_gflops": self.baseline_gflops,
+            "observed_gflops": self.observed_gflops,
+            "drop_fraction": self.drop_fraction,
+            "fired_at": self.fired_at,
+        }
+
+
+class _Baseline:
+    """EWMA mean + EWMA |deviation| for one (fingerprint, key) series."""
+
+    __slots__ = ("mean", "dev", "n", "drops", "last")
+
+    def __init__(self):
+        self.mean = 0.0
+        self.dev = 0.0
+        self.n = 0
+        self.drops = 0
+        self.last = 0.0
+
+
+class PerfWatchdog:
+    """Detects sustained per-matrix GFLOP/s drops against learned baselines.
+
+    Tunables are plain attributes so tests (and operators via a shared
+    instance) can tighten them: ``alpha`` is the EWMA weight,
+    ``min_samples`` the warmup before the band is trusted, ``sustain``
+    the consecutive-drop count that fires, ``dev_band`` the deviation
+    multiplier, and ``rel_floor`` a relative floor on the band so
+    near-zero-variance baselines don't alert on scheduler noise.
+    """
+
+    def __init__(self, slo=None, *, alpha: float = 0.2,
+                 min_samples: int = 5, sustain: int = 3,
+                 dev_band: float = 4.0, rel_floor: float = 0.15):
+        self.slo = slo
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.sustain = sustain
+        self.dev_band = dev_band
+        self.rel_floor = rel_floor
+        self.events: list[RegressionEvent] = []
+        self._baselines: dict[tuple[str, str], _Baseline] = {}
+        self._fractions: dict[str, tuple[float, int]] = {}  # fp -> (ewma, n)
+        self._lock = threading.Lock()
+
+    # -- feeding ----------------------------------------------------------
+
+    def observe(self, fingerprint: str, key: str, gflops: float,
+                fraction: float = float("nan")) -> RegressionEvent | None:
+        """Feed one attributed batch; returns the event if one fired."""
+        if not (gflops > 0) or not math.isfinite(gflops):
+            return None
+        with self._lock:
+            if math.isfinite(fraction):
+                ewma, n = self._fractions.get(fingerprint, (0.0, 0))
+                ewma = fraction if n == 0 else \
+                    (1 - self.alpha) * ewma + self.alpha * fraction
+                self._fractions[fingerprint] = (ewma, n + 1)
+            b = self._baselines.setdefault((fingerprint, key), _Baseline())
+            b.last = gflops
+            if b.n < self.min_samples:
+                # Warmup: learn the baseline, never alert.
+                if b.n == 0:
+                    b.mean = gflops
+                else:
+                    b.mean = (1 - self.alpha) * b.mean + self.alpha * gflops
+                    b.dev = (1 - self.alpha) * b.dev + \
+                        self.alpha * abs(gflops - b.mean)
+                b.n += 1
+                return None
+            band = max(self.dev_band * b.dev, self.rel_floor * b.mean)
+            if gflops < b.mean - band:
+                b.drops += 1
+                if b.drops >= self.sustain:
+                    event = self._fire(fingerprint, key, b, gflops)
+                    return event
+                # Streak open: freeze the baseline so the EWMA doesn't
+                # chase the degraded rate under its own band.
+                return None
+            b.drops = 0
+            b.mean = (1 - self.alpha) * b.mean + self.alpha * gflops
+            b.dev = (1 - self.alpha) * b.dev + \
+                self.alpha * abs(gflops - b.mean)
+            b.n += 1
+            return None
+
+    def _fire(self, fingerprint: str, key: str, b: _Baseline,
+              gflops: float) -> RegressionEvent:
+        event = RegressionEvent(
+            fingerprint=fingerprint, key=key,
+            baseline_gflops=b.mean, observed_gflops=gflops,
+            drop_fraction=1.0 - (gflops / b.mean if b.mean > 0 else 0.0),
+        )
+        self.events.append(event)
+        del self.events[:-MAX_EVENTS]
+        # Rebaseline to the degraded rate: re-fire only on a further drop.
+        b.mean = gflops
+        b.dev = 0.0
+        b.n = self.min_samples
+        b.drops = 0
+        inc("perf.regressions", key=key)
+        slo = self.slo
+        if slo is not None:
+            try:
+                slo.arm_force_sampling(fingerprint)
+            except Exception:
+                pass
+        return event
+
+    # -- reporting --------------------------------------------------------
+
+    def fractions(self) -> dict[str, float]:
+        """Per-matrix EWMA roofline fraction."""
+        with self._lock:
+            return {fp: ewma for fp, (ewma, _n) in self._fractions.items()}
+
+    def report(self, *, top: int = 5) -> dict:
+        """JSON-ready summary for ``GET /v1/debug/perf``."""
+        with self._lock:
+            fracs = sorted(
+                ((fp, ewma) for fp, (ewma, _n) in self._fractions.items()),
+                key=lambda kv: kv[1],
+            )
+            baselines = {
+                f"{fp}:{key}": {
+                    "mean_gflops": b.mean,
+                    "dev_gflops": b.dev,
+                    "samples": b.n,
+                    "last_gflops": b.last,
+                    "open_drops": b.drops,
+                }
+                for (fp, key), b in self._baselines.items()
+            }
+            events = [e.to_json() for e in self.events[-MAX_EVENTS:]]
+        return {
+            "regressions": len(events),
+            "events": events,
+            "bottom_fractions": [
+                {"fingerprint": fp, "roofline_fraction": f}
+                for fp, f in fracs[:top]
+            ],
+            "top_fractions": [
+                {"fingerprint": fp, "roofline_fraction": f}
+                for fp, f in fracs[-top:][::-1]
+            ],
+            "baselines": baselines,
+        }

@@ -128,6 +128,19 @@ class SloTracker:
         return True
 
     # --------------------------------------------------- force sampling
+    def arm_force_sampling(self, fingerprint: str,
+                           n: int | None = None) -> None:
+        """Arm force-sampling debt for a matrix from outside the latency
+        path (the perf watchdog arms it on a sustained GFLOP/s drop, so
+        the regressed matrix's next requests are traced end-to-end).
+        Max-merges with any existing debt rather than resetting it."""
+        debt = self.force_samples if n is None else int(n)
+        if debt <= 0:
+            return
+        with self._lock:
+            self._force_debt[fingerprint] = max(
+                self._force_debt.get(fingerprint, 0), debt)
+
     def should_force_sample(self, fingerprint: str) -> bool:
         """Consume one unit of force-sampling debt for this matrix
         (armed by a recent outlier); the caller then records a full

@@ -27,6 +27,7 @@ from ..formats.csr import CSRMatrix
 from ..observe import context as _context
 from ..observe import metrics as _metrics
 from ..observe import trace as _trace
+from ..observe.perf.attribution import observe_kernel as _observe_kernel
 from ..observe.trace import span as _span
 from .partition import RowPartition, partition_rows_balanced
 
@@ -145,7 +146,10 @@ def threaded_spmv(
         kernel.spmv(*args, r0, r1)
 
     with _span("threaded.spmv", threads=n, nnz=csr.nnz_stored) as s:
+        t0 = time.perf_counter()
         secs = _run_ranges(part.ranges(), run_one, n)
+        _observe_kernel(csr, time.perf_counter() - t0,
+                        backend="threaded")
         _record(secs, s)
     if yc is not y:
         y[...] = yc
@@ -202,7 +206,10 @@ def threaded_spmm(
 
     with _span("threaded.spmm", threads=n, nnz=csr.nnz_stored,
                k=k) as s:
+        t0 = time.perf_counter()
         secs = _run_ranges(part.ranges(), run_one, n)
+        _observe_kernel(csr, time.perf_counter() - t0, k=k,
+                        backend="threaded")
         _record(secs, s)
     if yc is not y:
         y[...] = yc

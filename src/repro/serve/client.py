@@ -32,6 +32,8 @@ from ..machines.registry import get_machine
 from ..observe import context as _context
 from ..observe import trace as _trace
 from ..observe.hub import install_hub
+from ..observe import perf as _perf
+from ..observe.perf import MachineCeilings, PerfWatchdog
 from ..observe.slo import SloTracker
 from ..observe.trace import span as _span
 from .plancache import PlanCache
@@ -107,10 +109,35 @@ class ServeClient:
         plan_mode: str = "heuristic",
         autoplan_dir: str | os.PathLike | None = None,
         retune_predicted: bool = True,
+        perf_watch: "bool | MachineCeilings" = False,
+        profile_dir: str | os.PathLike | None = None,
     ):
         if isinstance(machine, str):
             machine = get_machine(machine)
         self.machine = machine
+        # Roofline observability: resolve measured ceilings and install
+        # them process-wide *before* any shard fork below, so children
+        # inherit the host roofline and tag their computes with real
+        # fractions. perf_watch=True loads (or measures once and
+        # caches) this host's ceilings; passing a MachineCeilings uses
+        # it directly (tests, pre-measured fleets).
+        self.ceilings = None
+        if perf_watch:
+            if isinstance(perf_watch, MachineCeilings):
+                self.ceilings = perf_watch
+            else:
+                self.ceilings = _perf.get_ceilings()
+            _perf.configure(self.ceilings)
+        self.profile_dir = (
+            os.path.expanduser(os.fspath(profile_dir))
+            if profile_dir is not None else None
+        )
+        self._sampler = None
+        if self.profile_dir is not None:
+            os.makedirs(self.profile_dir, exist_ok=True)
+            self._sampler = _perf.start_sampler(
+                os.path.join(self.profile_dir, "serve-parent.stacks")
+            )
         # Learned plan selection: with plan_mode "auto"/"predict", cold
         # registrations try the model first (corpus + artifact live in
         # autoplan_dir, defaulting to the plan-cache dir) and confident
@@ -144,7 +171,7 @@ class ServeClient:
             from ..dist import ShardGroup
             self.shard_group = ShardGroup(
                 shards, partition=shard_partition, k_cap=max_batch,
-                backend=backend,
+                backend=backend, profile_dir=self.profile_dir,
             )
         self.registry = MatrixRegistry(
             machine, n_threads=n_threads,
@@ -174,10 +201,17 @@ class ServeClient:
         self.slo = SloTracker(
             slo_s=slo_ms / 1e3 if slo_ms is not None else None
         )
+        # Regression watchdog: only active under perf_watch. It feeds
+        # on per-batch compute rates from the scheduler and arms the
+        # SLO tracker's force-sampling on a sustained drop.
+        self.watchdog = None
+        if perf_watch:
+            self.watchdog = PerfWatchdog(slo=self.slo)
+            _perf.configure(self.ceilings, watchdog=self.watchdog)
         self.scheduler = BatchScheduler(
             self.pool, max_batch=max_batch,
             flush_deadline_s=flush_deadline_s, max_queue=max_queue,
-            slo=self.slo,
+            slo=self.slo, watchdog=self.watchdog,
         )
         self._closed = False
 
@@ -283,6 +317,20 @@ class ServeClient:
         """Recent SLO outliers (oldest first), JSON-shaped."""
         return [s.to_json() for s in self.slo.slow_samples()]
 
+    def perf_report(self) -> dict:
+        """Roofline-observability summary (the ``/v1/debug/perf``
+        body): measured-ceilings envelope, per-matrix roofline
+        fractions, watchdog baselines and regression events."""
+        report: dict = {
+            "perf_watch": self.watchdog is not None,
+            "ceilings": (self.ceilings.to_json()
+                         if self.ceilings is not None else None),
+            "host": _perf.host_fingerprint(),
+        }
+        if self.watchdog is not None:
+            report.update(self.watchdog.report())
+        return report
+
     # -------------------------------------------------------- lifecycle
     def describe(self) -> dict:
         """Service health summary (the ``/healthz`` body)."""
@@ -310,6 +358,8 @@ class ServeClient:
         self.pool.shutdown(drain=True)
         if self.shard_group is not None:
             self.shard_group.close()
+        if self._sampler is not None:
+            _perf.stop_sampler()
 
     def __enter__(self) -> "ServeClient":
         return self

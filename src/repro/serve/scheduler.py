@@ -46,6 +46,7 @@ from ..errors import ServeAdmissionError, ServeError
 from ..kernels.registry import spmm_backend, spmv_backend
 from ..observe import context as _context
 from ..observe import metrics as _metrics
+from ..observe.perf.attribution import sample_kernel as _sample_kernel
 from ..observe.slo import SloTracker
 from ..observe.trace import span as _span
 from .registry import RegistryEntry
@@ -78,6 +79,7 @@ class BatchScheduler:
         flush_deadline_s: float = 0.002,
         max_queue: int = 1024,
         slo: SloTracker | None = None,
+        watchdog=None,
     ):
         if max_batch < 1:
             raise ServeError("max_batch must be >= 1")
@@ -90,6 +92,7 @@ class BatchScheduler:
         self.flush_deadline_s = flush_deadline_s
         self.max_queue = max_queue
         self.slo = slo
+        self.watchdog = watchdog
         self._cv = threading.Condition()
         self._groups: dict[str, _Group] = {}
         self._n_queued = 0
@@ -225,6 +228,8 @@ class BatchScheduler:
             _metrics.observe("serve.batch_size", k)
             t_done = time.perf_counter()
             compute_s = max(t_done - t_exec - gather_s, 0.0)
+            if self.watchdog is not None:
+                self._feed_watchdog(entry, backend, k, compute_s)
             for req, y in zip(requests, ys):
                 req.future.set_result(y)
             if self.slo is not None:
@@ -250,6 +255,29 @@ class BatchScheduler:
             with self._cv:
                 self._n_inflight -= 1
                 self._cv.notify_all()
+
+    def _feed_watchdog(self, entry, backend: str, k: int,
+                       compute_s: float) -> None:
+        """Feed the perf watchdog one attributed batch.
+
+        Attribution here is *pure* (no histograms): the kernel layer —
+        spmv/spmm_backend, or the shard children for sharded entries —
+        already emitted perf.* for this batch; the scheduler only
+        tracks the per-matrix baseline against the whole-batch wall
+        time, the quantity a regression actually degrades.
+        """
+        matrix = entry.matrix
+        if matrix is None or compute_s <= 0:
+            return
+        try:
+            sample = _sample_kernel(matrix, compute_s, k=k,
+                                    backend=backend)
+            self.watchdog.observe(
+                entry.fingerprint, f"{sample.fmt}/{backend}",
+                sample.gflops, sample.fraction,
+            )
+        except Exception:  # pragma: no cover - watchdog is best effort
+            pass
 
     def _flush_loop(self) -> None:
         while True:

@@ -22,6 +22,10 @@ Routes
     returns Chrome trace-event JSON instead of the nested tree.
 ``GET /v1/debug/slow``
     Recent SLO outliers with phase breakdowns and trace ids.
+``GET /v1/debug/perf``
+    Roofline observability: measured-ceilings envelope, per-matrix
+    roofline fractions (top/bottom), watchdog baselines and recent
+    regression events (populated under ``perf_watch``).
 
 Trace propagation: a ``POST /v1/spmv`` carrying an ``X-Repro-Trace``
 header (``<trace_id>-<span_id>-<01|00>``) executes under that context —
@@ -48,7 +52,7 @@ from ..formats.coo import COOMatrix
 from ..observe import context as _context
 from ..observe import metrics as _metrics
 from ..observe.context import TRACE_HEADER
-from ..observe.metrics import render_prometheus
+from ..observe.metrics import render_prometheus, sample_process_gauges
 from ..observe.trace import span as _span
 from .client import ServeClient
 
@@ -117,6 +121,8 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._json(200, self.client_obj.describe())
         elif self.path == "/metrics":
+            # Process gauges are point-in-time: refresh on each scrape.
+            sample_process_gauges()
             self._send(
                 200, render_prometheus().encode(),
                 "text/plain; version=0.0.4; charset=utf-8",
@@ -125,6 +131,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._get_trace()
         elif self.path == "/v1/debug/slow":
             self._json(200, {"slow": self.client_obj.slow_requests()})
+        elif self.path == "/v1/debug/perf":
+            self._json(200, self.client_obj.perf_report())
         else:
             self._error(404, f"unknown route GET {self.path}")
 

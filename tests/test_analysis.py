@@ -74,6 +74,52 @@ class TestRoofline:
         assert pt.intensity == pytest.approx(0.25)
         assert 0 < pt.efficiency <= 1.5
 
+    def test_efficiency_nan_on_zero_bound(self):
+        """Undefined efficiency (zero bound) must be nan, not 0.0 —
+        'no attainable rate' is not 'achieved 0% of it'."""
+        from repro.analysis.roofline import RooflinePoint
+
+        pt = RooflinePoint("degenerate", intensity=0.0, gflops=1.0,
+                           bound_gflops=0.0)
+        assert np.isnan(pt.efficiency)
+
+    def test_place_point_zero_intensity(self):
+        """Zero traffic (empty kernel) places at intensity 0 with a
+        zero bound and nan efficiency."""
+        m = get_machine("AMD X2")
+        pt = place_point(m, "empty", gflops=0.0, traffic_bytes=0.0,
+                         flops=0.0)
+        assert pt.intensity == 0.0
+        assert pt.bound_gflops == 0.0
+        assert np.isnan(pt.efficiency)
+
+    def test_efficiency_defined_when_bound_positive(self):
+        from repro.analysis.roofline import RooflinePoint
+
+        pt = RooflinePoint("ok", intensity=0.2, gflops=1.0,
+                           bound_gflops=2.0)
+        assert pt.efficiency == pytest.approx(0.5)
+
+    def test_ridge_sustained_vs_peak_crossover(self):
+        """Sustained bandwidth < peak bandwidth, so the sustained ridge
+        sits at *higher* intensity: the machine stays memory-bound
+        longer than the datasheet says. Attainable rates cross over
+        consistently: equal in the compute-bound region, lower under
+        the sustained roof in the memory-bound region."""
+        m = get_machine("AMD X2")
+        ridge_sus = ridge_point(m, use_sustained=True)
+        ridge_peak = ridge_point(m, use_sustained=False)
+        assert ridge_sus > ridge_peak
+        # memory-bound side: sustained roof is strictly lower
+        low = ridge_peak / 2
+        assert attainable_gflops(m, low, use_sustained=True) < \
+            attainable_gflops(m, low, use_sustained=False)
+        # compute-bound side: both hit the same flat peak
+        high = ridge_sus * 2
+        assert attainable_gflops(m, high, use_sustained=True) == \
+            pytest.approx(attainable_gflops(m, high,
+                                            use_sustained=False))
+
 
 class TestPower:
     def test_figure_2b_ordering(self):

@@ -29,7 +29,9 @@ from repro.observe.metrics import (
     MetricsRegistry,
     get_registry,
     render_prometheus,
+    sample_process_gauges,
 )
+from repro.observe.perf import MachineCeilings, PerfWatchdog
 from repro.serve.client import ServeClient
 
 README = os.path.join(os.path.dirname(__file__), "..", "README.md")
@@ -65,6 +67,15 @@ DOCUMENTED = {
     # learned plan selection (autoplan/, fed by registry.register)
     "autoplan.predictions": "counter",
     "autoplan.registration_seconds": "histogram",
+    # roofline attribution + watchdog (observe/perf/)
+    "perf.gflops": "histogram",
+    "perf.gbs": "histogram",
+    "perf.roofline_fraction": "histogram",
+    "perf.regressions": "counter",
+    # standard process gauges (observe/metrics.py, sampled on scrape)
+    "process.rss_bytes": "gauge",
+    "process.open_fds": "gauge",
+    "process.uptime_seconds": "gauge",
 }
 
 
@@ -85,9 +96,16 @@ def smoke_registry():
         (n, n), rng.integers(0, n, 1200), rng.integers(0, n, 1200),
         rng.standard_normal(1200),
     )
+    ceilings = MachineCeilings(
+        copy_gbs_single=10.0, triad_gbs_single=12.0,
+        copy_gbs_all=20.0, triad_gbs_all=24.0,
+        peak_gflops_single=5.0, peak_gflops_all=20.0,
+        n_cores=2, spmv_probe_gflops={},
+    )
     client = ServeClient(
         shards=2, shard_threshold_bytes=1, trace_sample_rate=1.0,
         plan_mode="auto",   # no model yet: emits the fallback outcome
+        perf_watch=ceilings,  # hand-built: no measurement in tests
     )
     try:
         fp = client.register(coo).fingerprint
@@ -107,12 +125,26 @@ def smoke_registry():
             sched.submit(client.registry.get(fp), x)
         sched.close()
         pool.shutdown()
+        # a regression is an *event*, not steady-state: drive a
+        # watchdog directly (same precedent as serve.rejected above)
+        wd = PerfWatchdog(slo=client.slo)
+        wd.min_samples, wd.sustain = 2, 2
+        for _ in range(4):
+            wd.observe("fp-reg", "csr/numpy", 1.0)
+        for _ in range(2):
+            wd.observe("fp-reg", "csr/numpy", 0.1)
+        # process gauges are scrape-sampled; mirror the /metrics path
+        sample_process_gauges()
         # let the shard children's DeltaFlushers ship their counters
-        deadline = time.monotonic() + 5.0
+        # and perf.* histograms
+        deadline = time.monotonic() + 10.0
         while time.monotonic() < deadline:
             snap = get_registry().snapshot()
-            if any(k.startswith("dist.child_computes")
-                   for k in snap["counters"]):
+            shards_in = {k for k in snap["counters"]
+                         if k.startswith("dist.child_computes")}
+            if (len(shards_in) >= 2
+                    and any(k.startswith("perf.gflops")
+                            for k in snap["histograms"])):
                 break
             time.sleep(0.05)
         yield get_registry(), render_prometheus()

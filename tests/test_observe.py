@@ -419,6 +419,32 @@ class TestPrometheusRendering:
         text = reg.render_prometheus()
         assert 'route="GET /metrics"' in text
 
+    def test_label_value_escaping_special_chars(self):
+        # Exposition format 0.0.4: label values escape backslash,
+        # double-quote, and newline — in that order, so an original
+        # backslash never doubles an escape we just inserted.
+        reg = MetricsRegistry()
+        reg.inc("serve.http_requests", route='GET /a"b\\c\nd')
+        text = reg.render_prometheus()
+        assert 'route="GET /a\\"b\\\\c\\nd"' in text
+        # the rendered exposition stays one line per sample
+        sample_lines = [ln for ln in text.splitlines()
+                        if "serve_http_requests{" in ln]
+        assert len(sample_lines) == 1
+
+    def test_process_gauges(self):
+        from repro.observe import get_registry, sample_process_gauges
+
+        sample_process_gauges()
+        snap = get_registry().snapshot()
+        up = snap["gauges"]["process.uptime_seconds"]
+        assert up >= 0
+        # Linux /proc paths present in CI; values must be sane.
+        if "process.rss_bytes" in snap["gauges"]:
+            assert snap["gauges"]["process.rss_bytes"] > 1 << 20
+        if "process.open_fds" in snap["gauges"]:
+            assert snap["gauges"]["process.open_fds"] >= 3
+
     def test_custom_prefix_and_empty(self):
         reg = MetricsRegistry()
         assert reg.render_prometheus() == ""
