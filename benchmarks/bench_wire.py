@@ -1,0 +1,118 @@
+"""JSON-vs-binary wire protocol benchmark (real time, this host).
+
+Measures the end-to-end SpMV request path of the cluster tier three
+ways on the same in-process node — ``POST /v1/spmv`` with a JSON body
+on a persistent HTTP connection, the binary wire protocol with inline
+payloads, and the binary protocol's same-host shm handoff — and gates
+on the claims the protocol was built for:
+
+* inline binary at least halves the request bytes (a float64 in
+  decimal JSON costs ~20 bytes against 8 raw bytes, so the honest
+  inline ceiling is ~2.6x on full-precision vectors),
+* the same-host handoff cuts bytes *crossing the socket* by at least
+  ``--min-payload-ratio`` (default 5x; in practice thousands — only
+  the preamble and segment descriptors travel), and
+* the binary p50 latency beats the JSON p50 on a 100k-row vector.
+
+Run directly (``python benchmarks/bench_wire.py --json BENCH_9.json``)
+for the CI snapshot; ``--baseline`` diffs against the committed
+snapshot with a generous ratio so only real regressions trip CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _diff_baseline(snap: dict, path: str, ratio: float) -> list[str]:
+    """Latency is machine-relative, so the baseline gate is on the
+    *shape* of the result: the workload must match exactly, the
+    payload ratio is deterministic and must not shrink, and the
+    speedup may not collapse below ``baseline / ratio``."""
+    with open(path) as f:
+        base = json.load(f)
+    problems = []
+    for key in ("n", "nnz", "iters"):
+        if snap.get(key) != base.get(key):
+            problems.append(
+                f"workload drifted: {key} is {snap.get(key)!r} but "
+                f"baseline has {base.get(key)!r} — regenerate "
+                f"benchmarks/snapshots/BENCH_9.json on purpose")
+    if snap["payload_ratio"] < base["payload_ratio"] * 0.99:
+        problems.append(
+            f"payload ratio shrank: {snap['payload_ratio']:.2f}x vs "
+            f"baseline {base['payload_ratio']:.2f}x (the wire header "
+            f"grew?)")
+    floor = base["p50_speedup"] / ratio
+    if snap["p50_speedup"] < floor:
+        problems.append(
+            f"p50 speedup {snap['p50_speedup']:.2f}x fell below "
+            f"{floor:.2f}x (baseline {base['p50_speedup']:.2f}x "
+            f"/ ratio {ratio})")
+    if not problems:
+        print(f"baseline diff ok: {snap['p50_speedup']:.2f}x vs "
+              f"floor {floor:.2f}x")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="cluster wire protocol: JSON vs binary snapshot")
+    ap.add_argument("--n", type=int, default=100_000,
+                    help="vector length (default 100k rows)")
+    ap.add_argument("--iters", type=int, default=30,
+                    help="timed round trips per path")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--json", metavar="FILE", default=None,
+                    help="write the snapshot JSON to FILE")
+    ap.add_argument("--min-payload-ratio", type=float, default=5.0,
+                    help="fail unless the same-host handoff cuts "
+                         "bytes-on-socket by this factor (default 5x)")
+    ap.add_argument("--min-inline-ratio", type=float, default=2.0,
+                    help="fail unless inline binary cuts request "
+                         "bytes by this factor (default 2x)")
+    ap.add_argument("--baseline", metavar="FILE", default=None,
+                    help="diff against a committed snapshot")
+    ap.add_argument("--baseline-ratio", type=float, default=3.0,
+                    help="tolerated p50-speedup shrink vs the "
+                         "baseline (default 3.0)")
+    args = ap.parse_args(argv)
+
+    from repro.cluster.bench import format_report, run_wire_bench
+
+    snap = run_wire_bench(n=args.n, iters=args.iters, seed=args.seed)
+    print(format_report(snap))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(snap, f, indent=2)
+            f.write("\n")
+
+    problems = []
+    if snap["payload_ratio"] < args.min_inline_ratio:
+        problems.append(
+            f"inline payload ratio {snap['payload_ratio']:.2f}x is "
+            f"under the {args.min_inline_ratio}x gate")
+    if snap["payload_ratio_shm"] < args.min_payload_ratio:
+        problems.append(
+            f"shm on-socket ratio {snap['payload_ratio_shm']:.2f}x is "
+            f"under the {args.min_payload_ratio}x gate")
+    if snap["wire_p50_ms"] >= snap["json_p50_ms"]:
+        problems.append(
+            f"binary p50 {snap['wire_p50_ms']:.3f} ms did not beat "
+            f"JSON p50 {snap['json_p50_ms']:.3f} ms")
+    if args.baseline is not None:
+        problems += _diff_baseline(snap, args.baseline,
+                                   args.baseline_ratio)
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    import pathlib
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+    raise SystemExit(main())

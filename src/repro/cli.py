@@ -23,6 +23,10 @@ autoplan            Learned plan selection: ``train`` a model from a
                     print the stratified-holdout accuracy ``report``.
 dist-bench          Shards × matrix sweep over the sharded-execution
                     tier (per-shard imbalance, effective GFLOP/s).
+cluster             Multi-node serving tier: run a ``node`` (binary
+                    wire + HTTP on one port), a ``router``
+                    (consistent-hash placement, replica failover), or
+                    the JSON-vs-binary ``bench``.
 bench MATRIX        Wall-clock SpMV: NumPy vs the compiled C backend
                     (and the threaded C path) on one matrix.
 kernels             List compiled C kernel variants and cache status.
@@ -313,6 +317,80 @@ def _cmd_serve(args) -> int:
         httpd.server_close()
         client.close()
     return 0
+
+
+def _cmd_cluster(args) -> int:
+    """Multi-node serving: run a node, a router, or the wire bench."""
+    import signal
+    import threading
+
+    if args.action == "bench":
+        from .cluster.bench import format_report, run_wire_bench
+
+        report = run_wire_bench(n=args.n, iters=args.iters,
+                                seed=args.seed, machine=args.machine)
+        print(format_report(report))
+        return 0
+
+    def _run_forever(front_name: str, address: str, closer) -> int:
+        # The READY line is the spawn contract: parents (the smoke
+        # test, operators' scripts) parse it to learn the bound port.
+        print(f"READY {address}", flush=True)
+        print(f"{front_name} at {address} (Ctrl-C stops)",
+              file=sys.stderr)
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda *a: stop.set())
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            closer()
+        return 0
+
+    if args.action == "node":
+        from .cluster import start_node
+        from .serve import ServeClient
+
+        client = ServeClient(
+            machine=args.machine,
+            n_threads=args.threads,
+            plan_cache_dir=args.plan_cache,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            shards=args.shards,
+            shard_threshold_bytes=int(args.shard_threshold_mb * 1e6),
+            backend=args.backend,
+            trace_sample_rate=args.trace_sample_rate,
+            slo_ms=args.slo_ms,
+        )
+        node = start_node(client, host=args.host, port=args.port)
+
+        def _close() -> None:
+            node.close()
+            client.close()
+
+        return _run_forever("cluster node", node.address, _close)
+
+    # router
+    from .cluster import start_router
+    from .dist.fault import RetryPolicy
+
+    nodes = [n.strip() for n in (args.nodes or "").split(",")
+             if n.strip()]
+    if not nodes:
+        print("error: router needs --nodes host:port[,host:port...]",
+              file=sys.stderr)
+        return 2
+    router = start_router(
+        nodes,
+        replication=args.replication,
+        host=args.host, port=args.port,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        health_interval_s=args.health_interval_ms / 1e3,
+        hot_rps=args.hot_rps,
+    )
+    return _run_forever("cluster router", router.address, router.close)
 
 
 def _cmd_perf(args) -> int:
@@ -920,6 +998,53 @@ def build_parser() -> argparse.ArgumentParser:
                     help="execution backend inside the shards")
 
     sp = sub.add_parser(
+        "cluster",
+        help="multi-node serving: node / router / wire bench",
+        parents=[common],
+    )
+    sp.add_argument("action", choices=["node", "router", "bench"])
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=0,
+                    help="0 picks a free port (printed on the READY "
+                         "line)")
+    sp.add_argument("--machine", default="AMD X2",
+                    choices=machine_names())
+    # node flags (mirroring `serve`)
+    sp.add_argument("--threads", type=int, default=None,
+                    help="node: plan thread count")
+    sp.add_argument("--plan-cache", metavar="DIR", default=None,
+                    help="node: persist tuned plans under DIR")
+    sp.add_argument("--max-batch", type=int, default=8)
+    sp.add_argument("--max-queue", type=int, default=1024)
+    sp.add_argument("--shards", type=int, default=None,
+                    help="node: back large matrices with N shard "
+                         "worker processes")
+    sp.add_argument("--shard-threshold-mb", type=float, default=4.0)
+    sp.add_argument("--backend", choices=["numpy", "c", "auto"],
+                    default="numpy")
+    sp.add_argument("--trace-sample-rate", type=float, default=0.0)
+    sp.add_argument("--slo-ms", type=float, default=None)
+    # router flags
+    sp.add_argument("--nodes", default=None,
+                    help="router: comma-separated node addresses "
+                         "(host:port,host:port,...)")
+    sp.add_argument("--replication", type=int, default=2,
+                    help="router: replicas per matrix")
+    sp.add_argument("--max-retries", type=int, default=3,
+                    help="router: bounded failover retries")
+    sp.add_argument("--health-interval-ms", type=float, default=500.0,
+                    help="router: node health-probe period")
+    sp.add_argument("--hot-rps", type=float, default=None,
+                    help="router: request rate above which a matrix "
+                         "fans out to extra replicas")
+    # bench flags
+    sp.add_argument("--n", type=int, default=100_000,
+                    help="bench: vector length")
+    sp.add_argument("--iters", type=int, default=30,
+                    help="bench: timed round trips per path")
+    sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser(
         "bench",
         help="wall-clock SpMV: numpy vs compiled C backend",
         parents=[common],
@@ -1027,6 +1152,7 @@ _COMMANDS = {
     "autoplan": _cmd_autoplan,
     "perf": _cmd_perf,
     "dist-bench": _cmd_dist_bench,
+    "cluster": _cmd_cluster,
     "bench": _cmd_bench,
     "kernels": _cmd_kernels,
 }

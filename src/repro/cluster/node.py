@@ -1,0 +1,246 @@
+"""One cluster serving node: a :class:`ServeClient` behind the async
+front end, speaking HTTP and the binary wire protocol on one port.
+
+The node is deliberately thin: every HTTP request goes through the
+same :class:`repro.serve.routes.Router` the single-host server uses,
+and a binary ``SPMV`` frame is decoded straight into the batching
+scheduler — the event loop hands the scheduler's future back to the
+front end, so the hot path never parks a thread waiting for compute.
+
+Trace propagation: an ``SPMV`` frame's header may carry ``"trace"``
+(the ``X-Repro-Trace`` value). The submit runs under that context, so
+the node's ``serve.request`` span — and the shard spans below it —
+parent onto whatever span the router (or end client) opened upstream.
+The flat span export at ``GET /v1/debug/spans/{trace_id}`` is what a
+router pulls to merge one tree across processes.
+
+Same-host fast path: a frame carrying ``shm_x``/``shm_y`` segment
+descriptors instead of a payload reads x from (and writes y into) the
+caller-owned shared-memory segments from :mod:`repro.dist.shm` — the
+vectors never cross the socket at all.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from ..errors import ClusterError, ReproError, WireError
+from ..observe import context as _context
+from ..observe import metrics as _metrics
+from ..serve.client import ServeClient
+from ..serve.routes import Request, Response, Router, error_response
+from .aserver import AsyncFrontEnd
+from . import wire
+
+
+def _status_of(exc: BaseException) -> int:
+    """The HTTP-equivalent status for an exception, via the shared
+    serve mapping (so the binary path agrees with the JSON path)."""
+    if isinstance(exc, ReproError):
+        return error_response(exc).status
+    return 500
+
+
+def _detach_foreign(seg) -> None:
+    """Close a handle to a *client-owned* segment.
+
+    Unlike the dist shards (forked, sharing the parent's resource
+    tracker — see ``dist.shm.attach_array``), a node process is
+    foreign to its clients: the attach-side tracker registration is
+    spurious and makes the node warn at shutdown about segments the
+    client already unlinked. The segment name embeds the creator's pid
+    (``repro-dist-<pid>-<idx>``), so only drop the registration when
+    the creator really is another process — an in-process node (tests,
+    the bench) shares the client's tracker, where the registration is
+    the owner's and must survive until its ``unlink()``.
+    """
+    seg.close()
+    match = re.fullmatch(r"/?repro-dist-(\d+)-\d+", seg._name)
+    if match is None or int(match.group(1)) == os.getpid():
+        return
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass  # tracker details are CPython-version-specific
+
+
+def _attach_copy(spec_dict: dict) -> np.ndarray:
+    """Read a caller-owned segment into a private array and detach."""
+    from ..dist.shm import SegmentSpec, attach_array
+
+    spec = SegmentSpec(name=str(spec_dict["name"]),
+                       shape=tuple(spec_dict["shape"]),
+                       dtype=str(spec_dict["dtype"]))
+    view, seg = attach_array(spec)
+    try:
+        return np.array(view, dtype=np.float64, copy=True)
+    finally:
+        del view
+        _detach_foreign(seg)
+
+
+def _write_back(spec_dict: dict, y: np.ndarray) -> None:
+    """Write y into the caller-owned result segment and detach."""
+    from ..dist.shm import SegmentSpec, attach_array
+
+    spec = SegmentSpec(name=str(spec_dict["name"]),
+                       shape=tuple(spec_dict["shape"]),
+                       dtype=str(spec_dict["dtype"]))
+    view, seg = attach_array(spec)
+    try:
+        view[...] = y
+    finally:
+        del view
+        _detach_foreign(seg)
+
+
+class ClusterNode:
+    """A serving node: ``ServeClient`` + router + async front end."""
+
+    def __init__(self, client: ServeClient | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 handler_threads: int = 8, **client_kwargs):
+        self._own_client = client is None
+        if client is None:
+            client = ServeClient(**client_kwargs)
+        self.client = client
+        self.router = Router(client)
+        # Cold-path ops (register tunes a matrix, debug walks rings)
+        # run on this small pool, never on the event loop.
+        self._pool = ThreadPoolExecutor(
+            max_workers=handler_threads,
+            thread_name_prefix="cluster-node")
+        self.front = AsyncFrontEnd(self, host=host, port=port,
+                                   name="cluster-node-loop")
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    # ------------------------------------------------------- lifecycle
+    def start(self) -> "ClusterNode":
+        self.front.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.front.port
+
+    @property
+    def address(self) -> str:
+        return self.front.address
+
+    def close(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.front.close()
+        self._pool.shutdown(wait=True)
+        if self._own_client:
+            self.client.close()
+
+    def __enter__(self) -> "ClusterNode":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------- front-end protocol
+    def handle_request(self, req: Request) -> Future:
+        return self._pool.submit(self.router.handle, req)
+
+    def handle_frame(self, kind: int, header: dict, payload: bytes):
+        if kind == wire.KIND_PING:
+            return (wire.KIND_PONG, {}, b"")
+        if kind == wire.KIND_SPMV:
+            try:
+                return self._handle_spmv(header, payload)
+            except ClusterError:
+                raise
+            except ReproError as exc:
+                # e.g. a synchronous ServeError for an unregistered
+                # fingerprint: keep the HTTP-equivalent status (404)
+                # instead of the front end's 500 fallback.
+                raise ClusterError(
+                    str(exc), status=_status_of(exc)) from exc
+        if kind == wire.KIND_JSON:
+            return self._pool.submit(self._handle_json, header)
+        raise WireError(f"node cannot serve frame kind {kind}")
+
+    def _handle_json(self, header: dict) -> tuple:
+        req = Request(str(header.get("method", "GET")),
+                      str(header.get("path", "/")),
+                      dict(header.get("headers", {})),
+                      str(header.get("body", "")).encode())
+        resp = self.router.handle(req)
+        return (wire.KIND_JSON,
+                {"status": resp.status,
+                 "content_type": resp.content_type,
+                 "body": resp.body.decode()}, b"")
+
+    # -------------------------------------------------------- hot path
+    def _handle_spmv(self, header: dict, payload: bytes) -> Future:
+        _metrics.inc("cluster.requests", proto="wire")
+        fingerprint = header.get("fingerprint")
+        if not fingerprint:
+            raise WireError("SPMV frame needs a 'fingerprint'")
+        shm_y = header.get("shm_y")
+        if "shm_x" in header:
+            x = _attach_copy(header["shm_x"])
+        else:
+            x = wire.payload_vector(payload, int(header.get("n", -1)))
+        trace = header.get("trace")
+        ctx = _context.from_header(trace)
+        with _context.use(ctx) if ctx is not None else \
+                _context.use(None):
+            fut = self.client.submit(fingerprint, x)
+
+        out: Future = Future()
+
+        def _finish(f: Future) -> None:
+            exc = f.exception()
+            if exc is not None:
+                out.set_exception(ClusterError(
+                    str(exc), status=_status_of(exc)))
+                return
+            y = f.result()
+            reply = {"fingerprint": fingerprint, "n": int(y.shape[0])}
+            if trace:
+                reply["trace"] = trace
+            try:
+                if shm_y is not None:
+                    _write_back(shm_y, y)
+                    reply["shm"] = True
+                    out.set_result((wire.KIND_RESULT, reply, b""))
+                else:
+                    _, view = wire.vector_payload(y)
+                    out.set_result((wire.KIND_RESULT, reply, view))
+            except Exception as wb_exc:  # noqa: BLE001
+                out.set_exception(ClusterError(
+                    f"result write-back failed: {wb_exc}",
+                    status=_status_of(wb_exc)))
+
+        fut.add_done_callback(_finish)
+        return out
+
+    # ----------------------------------------------------------- admin
+    def describe(self) -> dict:
+        d = self.client.describe()
+        d["address"] = self.address
+        return d
+
+
+def start_node(client: ServeClient | None = None, *,
+               host: str = "127.0.0.1", port: int = 0,
+               **client_kwargs) -> ClusterNode:
+    """Build and start a node; ``port=0`` picks a free port."""
+    node = ClusterNode(client, host=host, port=port, **client_kwargs)
+    return node.start()
+
+
+__all__ = ["ClusterNode", "start_node"]

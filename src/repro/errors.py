@@ -73,6 +73,25 @@ class DistError(ReproError):
     or an unrecoverable shard crash)."""
 
 
+class ClusterError(ReproError):
+    """The multi-node serving tier failed (no live replica for a
+    matrix, a closed client, a node that answered with an error
+    frame). Carries the closest HTTP status in ``status`` so front
+    ends map it without string matching."""
+
+    def __init__(self, message: str, *, status: int = 500):
+        super().__init__(message)
+        self.status = status
+
+
+class WireError(ClusterError):
+    """A binary wire frame is malformed: bad magic, unsupported
+    version, an oversized length field, or a truncated stream."""
+
+    def __init__(self, message: str, *, status: int = 400):
+        super().__init__(message, status=status)
+
+
 class ShardDeadError(DistError):
     """A shard worker process died (or hung past its compute deadline)
     while holding work. Recoverable: the group respawns the shard,

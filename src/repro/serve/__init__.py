@@ -13,8 +13,11 @@ thousands of multiplies:
   multi-vector SpMM batches (size/deadline triggered) with bounded-
   queue admission control.
 * :mod:`.worker` — instrumented thread pool sized to the machine model.
-* :mod:`.server` — stdlib HTTP endpoint (``/v1/spmv``,
-  ``/v1/matrices``, ``/healthz``, Prometheus ``/metrics``).
+* :mod:`.routes` — transport-independent request routing
+  (``/v1/spmv``, ``/v1/matrices``, ``/healthz``, Prometheus
+  ``/metrics``, the ``/v1/debug/*`` plane).
+* :mod:`.transport` — stdlib threading HTTP front end over the same
+  router (the async front end lives in :mod:`repro.cluster.aserver`).
 * :mod:`.client` — the in-process client; its :class:`MatrixOperator`
   satisfies the solver ``LinearOperator`` protocol.
 
@@ -27,8 +30,9 @@ processes instead of in-process threads.
 from .client import MatrixOperator, ServeClient
 from .plancache import PlanCache, plans_equal
 from .registry import MatrixRegistry, RegistryEntry
+from .routes import Request, Response, Router
 from .scheduler import BatchScheduler
-from .server import ServeHTTPServer, start_server, stop_server
+from .transport import ServeHTTPServer, start_server, stop_server
 from .worker import WorkerPool
 
 __all__ = [
@@ -37,6 +41,9 @@ __all__ = [
     "MatrixRegistry",
     "PlanCache",
     "RegistryEntry",
+    "Request",
+    "Response",
+    "Router",
     "ServeClient",
     "ServeHTTPServer",
     "WorkerPool",

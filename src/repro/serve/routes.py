@@ -1,0 +1,299 @@
+"""Transport-independent request routing for the SpMV service.
+
+The PR-9 split: :mod:`.transport` owns sockets and HTTP framing,
+this module owns *what the service does* with a request. A
+:class:`Request` is a plain value (method, path, headers, body) and
+:class:`Router.handle` maps it to a :class:`Response` — so the same
+handlers serve the stdlib threading front end
+(:class:`repro.serve.transport.ServeHTTPServer`), the selectors-based
+async front end (:mod:`repro.cluster.aserver`), and the cluster
+router's JSON fallback path, without any of them duplicating error
+mapping or route dispatch.
+
+Routes
+------
+``POST /v1/matrices``
+    Register a matrix. JSON body, either an explicit COO triplet
+    ``{"shape": [m, n], "row": [...], "col": [...], "val": [...]}`` or
+    a suite generator reference
+    ``{"generate": "FEM-Ship", "scale": 0.05, "seed": 0}``.
+    Response: fingerprint, plan summary, ``plan_cache_hit``.
+``POST /v1/spmv``
+    ``{"fingerprint": "...", "x": [...]}`` → ``{"y": [...]}``.
+    Concurrent requests for one matrix coalesce into SpMM batches.
+``GET /healthz``
+    Service/registry summary (status, matrices, queue depth).
+``GET /metrics``
+    Prometheus text exposition of the process metrics registry —
+    including shard-child counters merged in by the telemetry plane.
+``GET /v1/debug/trace/{trace_id}``
+    Merged span tree for one sampled request (parent spans from the
+    hub + shard spans collated from ring files). ``?format=chrome``
+    returns Chrome trace-event JSON instead of the nested tree.
+``GET /v1/debug/spans/{trace_id}``
+    The same merged spans as a *flat* JSON event list (the
+    :meth:`~repro.observe.trace.SpanEvent.to_json` schema) — the
+    cross-node export a cluster router pulls from each node to stitch
+    one tree spanning router→node→shard processes.
+``GET /v1/debug/slow``
+    Recent SLO outliers with phase breakdowns and trace ids.
+``GET /v1/debug/perf``
+    Roofline observability: measured-ceilings envelope, per-matrix
+    roofline fractions, watchdog baselines and regression events.
+
+Trace propagation: a ``POST /v1/spmv`` carrying an ``X-Repro-Trace``
+header (``<trace_id>-<span_id>-<01|00>``) executes under that context —
+a sampled one records the full server-side span tree, retrievable at
+``/v1/debug/trace/{trace_id}``. The response echoes the header back.
+
+Admission control: when the scheduler's bounded queue is full the
+router answers ``429 Too Many Requests`` with a ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError, ServeAdmissionError, ServeError
+from ..formats.coo import COOMatrix
+from ..observe import context as _context
+from ..observe import metrics as _metrics
+from ..observe.context import TRACE_HEADER
+from ..observe.metrics import render_prometheus, sample_process_gauges
+from ..observe.trace import span as _span
+from .client import ServeClient
+
+_NULL_CM = contextlib.nullcontext()
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass
+class Request:
+    """One transport-independent request. Header names are looked up
+    case-insensitively through :meth:`header`."""
+
+    method: str
+    path: str
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        lower = name.lower()
+        for k, v in self.headers.items():
+            if k.lower() == lower:
+                return v
+        return default
+
+    def json(self) -> dict:
+        if not self.body:
+            raise ServeError("missing request body")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"invalid JSON body: {exc}") from exc
+
+
+@dataclass
+class Response:
+    """One transport-independent response."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, status: int, obj: dict,
+             headers: dict | None = None) -> "Response":
+        return cls(status, json.dumps(obj).encode(),
+                   "application/json", dict(headers or {}))
+
+    @classmethod
+    def error(cls, status: int, message: str,
+              headers: dict | None = None) -> "Response":
+        return cls.json(status, {"error": message}, headers)
+
+
+def error_response(exc: ReproError) -> Response:
+    """The service-wide exception→status mapping (shared by every
+    front end: threading HTTP, async HTTP, binary error frames)."""
+    if isinstance(exc, ServeAdmissionError):
+        return Response.error(429, str(exc), {"Retry-After": "1"})
+    if isinstance(exc, ServeError):
+        code = 404 if "unknown matrix fingerprint" in str(exc) else 400
+        return Response.error(code, str(exc))
+    status = getattr(exc, "status", 400)
+    return Response.error(status, str(exc))
+
+
+class Router:
+    """Maps :class:`Request` values onto one :class:`ServeClient`."""
+
+    def __init__(self, client: ServeClient):
+        self.client = client
+
+    # ------------------------------------------------------ entry point
+    def handle(self, req: Request) -> Response:
+        """Dispatch one request; never raises — every error becomes a
+        JSON error response with the shared status mapping."""
+        _metrics.inc("serve.http_requests",
+                     route=f"{req.method} {req.path}")
+        try:
+            if req.method == "GET":
+                return self._get(req)
+            if req.method == "POST":
+                with _span("serve.http", route=f"POST {req.path}"):
+                    return self._post(req)
+            return Response.error(
+                405, f"method {req.method} not allowed")
+        except ReproError as exc:
+            return error_response(exc)
+        except Exception as exc:  # noqa: BLE001 - the last-resort fence
+            return Response.error(500, f"internal error: {exc}")
+
+    # ------------------------------------------------------------- GET
+    def _get(self, req: Request) -> Response:
+        path = req.path
+        if path == "/healthz":
+            return Response.json(200, self.client.describe())
+        if path == "/metrics":
+            # Process gauges are point-in-time: refresh on each scrape.
+            sample_process_gauges()
+            return Response(200, render_prometheus().encode(),
+                            PROMETHEUS_CONTENT_TYPE)
+        if path.startswith("/v1/debug/trace/"):
+            return self._get_trace(path[len("/v1/debug/trace/"):])
+        if path.startswith("/v1/debug/spans/"):
+            return self._get_spans(path[len("/v1/debug/spans/"):])
+        if path == "/v1/debug/slow":
+            return Response.json(
+                200, {"slow": self.client.slow_requests()})
+        if path == "/v1/debug/perf":
+            return Response.json(200, self.client.perf_report())
+        return Response.error(404, f"unknown route GET {path}")
+
+    def _get_trace(self, rest: str) -> Response:
+        trace_id, _, query = rest.partition("?")
+        if not trace_id:
+            return Response.error(400, "missing trace id")
+        if query == "format=chrome":
+            events = self.client.trace_chrome(trace_id)
+            if not events:
+                return Response.error(404, f"unknown trace {trace_id!r}")
+            return Response.json(200, {"traceEvents": events,
+                                       "displayTimeUnit": "ms"})
+        tree = self.client.trace(trace_id)
+        if not tree:
+            return Response.error(404, f"unknown trace {trace_id!r}")
+        return Response.json(200, {"trace_id": trace_id, "spans": tree})
+
+    def _get_spans(self, rest: str) -> Response:
+        trace_id = rest.partition("?")[0]
+        if not trace_id:
+            return Response.error(400, "missing trace id")
+        events = self.trace_events(trace_id)
+        if not events:
+            return Response.error(404, f"unknown trace {trace_id!r}")
+        return Response.json(200, {"trace_id": trace_id,
+                                   "events": events})
+
+    def trace_events(self, trace_id: str) -> list[dict]:
+        """Flat merged span events for one trace (hub + shard rings),
+        in the :meth:`SpanEvent.to_json` schema. Empty when unknown."""
+        client = self.client
+        if client.shard_group is not None:
+            client.hub.add_events(
+                client.shard_group.collate_trace(trace_id))
+        return [e.to_json() for e in client.hub.get(trace_id)]
+
+    # ------------------------------------------------------------ POST
+    def _post(self, req: Request) -> Response:
+        if req.path == "/v1/matrices":
+            return self._post_matrices(req)
+        if req.path == "/v1/spmv":
+            return self._post_spmv(req)
+        return Response.error(404, f"unknown route POST {req.path}")
+
+    def register_body(self, body: dict) -> Response:
+        """Register a matrix described by a JSON body (triplet or
+        generator reference) — shared with the cluster router, which
+        fans the same body out to every owner node."""
+        coo = matrix_from_body(body)
+        entry = self.client.register(
+            coo,
+            n_threads=(
+                int(body["n_threads"]) if "n_threads" in body else None
+            ),
+        )
+        return Response.json(200, {
+            "fingerprint": entry.fingerprint,
+            "shape": list(entry.shape),
+            "nnz": entry.nnz,
+            "plan_cache_hit": entry.from_plan_cache,
+            "plan": entry.plan.describe(),
+        })
+
+    def _post_matrices(self, req: Request) -> Response:
+        return self.register_body(req.json())
+
+    def spmv(self, fingerprint: str, x: np.ndarray,
+             trace_header: str | None = None
+             ) -> tuple[np.ndarray, str | None]:
+        """The core compute op shared by the JSON and binary paths:
+        run ``y = A·x`` under the inbound trace context (malformed
+        headers are ignored, never an error) and return the result
+        plus the header to echo back."""
+        ctx = _context.from_header(trace_header)
+        with _context.use(ctx) if ctx is not None else _NULL_CM:
+            y = self.client.spmv(fingerprint, x)
+        return y, (ctx.to_header() if ctx is not None else None)
+
+    def _post_spmv(self, req: Request) -> Response:
+        body = req.json()
+        if "fingerprint" not in body or "x" not in body:
+            raise ServeError("spmv body needs 'fingerprint' and 'x'")
+        x = np.asarray(body["x"], dtype=np.float64)
+        y, echo = self.spmv(body["fingerprint"], x,
+                            req.header(TRACE_HEADER))
+        headers = {TRACE_HEADER: echo} if echo is not None else {}
+        return Response.json(200, {
+            "fingerprint": body["fingerprint"],
+            "y": y.tolist(),
+        }, headers)
+
+
+def matrix_from_body(body: dict) -> COOMatrix:
+    """Build the COO a registration body describes (explicit triplet
+    or a deterministic suite-generator reference)."""
+    if "generate" in body:
+        from ..matrices import generate
+
+        return generate(
+            body["generate"],
+            scale=float(body.get("scale", 0.05)),
+            seed=int(body.get("seed", 0)),
+        )
+    try:
+        return COOMatrix(
+            tuple(body["shape"]), body["row"], body["col"], body["val"],
+        )
+    except KeyError as exc:
+        raise ServeError(
+            f"matrix body needs shape/row/col/val (missing "
+            f"{exc.args[0]!r}) or a 'generate' name"
+        ) from exc
+
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "Request",
+    "Response",
+    "Router",
+    "error_response",
+    "matrix_from_body",
+]

@@ -1,255 +1,38 @@
-"""HTTP front end for the SpMV service (stdlib ``http.server``).
+"""Back-compat shim for the PR-9 transport/routing split.
 
-Routes
-------
-``POST /v1/matrices``
-    Register a matrix. JSON body, either an explicit COO triplet
-    ``{"shape": [m, n], "row": [...], "col": [...], "val": [...]}`` or
-    a suite generator reference
-    ``{"generate": "FEM-Ship", "scale": 0.05, "seed": 0}``.
-    Response: fingerprint, plan summary, ``plan_cache_hit``.
-``POST /v1/spmv``
-    ``{"fingerprint": "...", "x": [...]}`` → ``{"y": [...]}``.
-    Concurrent requests for one matrix coalesce into SpMM batches.
-``GET /healthz``
-    Service/registry summary (status, matrices, queue depth).
-``GET /metrics``
-    Prometheus text exposition of the process metrics registry —
-    including shard-child counters merged in by the telemetry plane.
-``GET /v1/debug/trace/{trace_id}``
-    Merged span tree for one sampled request (parent spans from the
-    hub + shard spans collated from ring files). ``?format=chrome``
-    returns Chrome trace-event JSON instead of the nested tree.
-``GET /v1/debug/slow``
-    Recent SLO outliers with phase breakdowns and trace ids.
-``GET /v1/debug/perf``
-    Roofline observability: measured-ceilings envelope, per-matrix
-    roofline fractions (top/bottom), watchdog baselines and recent
-    regression events (populated under ``perf_watch``).
+``serve.server`` used to hold the whole HTTP front end. It now lives
+in two transport-independent halves:
 
-Trace propagation: a ``POST /v1/spmv`` carrying an ``X-Repro-Trace``
-header (``<trace_id>-<span_id>-<01|00>``) executes under that context —
-a sampled one records the full server-side span tree, retrievable at
-``/v1/debug/trace/{trace_id}``. The response echoes the header back.
+* :mod:`repro.serve.transport` — connections + HTTP framing
+  (:class:`ServeHTTPServer`, :func:`start_server`, :func:`stop_server`,
+  the pre-read ``Content-Length``/413 discipline);
+* :mod:`repro.serve.routes` — the handlers (:class:`Router`,
+  :class:`Request`, :class:`Response`), shared with the selectors-based
+  async front end in :mod:`repro.cluster.aserver`.
 
-Admission control: when the scheduler's bounded queue is full the
-server answers ``429 Too Many Requests`` with a ``Retry-After`` hint.
-Shutdown via :func:`stop_server` (or the CLI's Ctrl-C handler) stops
-accepting, then drains in-flight batches before returning.
+Importing from here keeps working; new code should import from the
+split modules directly.
 """
 
 from __future__ import annotations
 
-import contextlib
-import json
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from .routes import Request, Response, Router
+from .transport import (
+    MAX_BODY_BYTES,
+    ServeHTTPServer,
+    start_server,
+    stop_server,
+)
 
-import numpy as np
+#: Historical alias (pre-split name).
+_MAX_BODY_BYTES = MAX_BODY_BYTES
 
-from ..errors import ReproError, ServeAdmissionError, ServeError
-from ..formats.coo import COOMatrix
-from ..observe import context as _context
-from ..observe import metrics as _metrics
-from ..observe.context import TRACE_HEADER
-from ..observe.metrics import render_prometheus, sample_process_gauges
-from ..observe.trace import span as _span
-from .client import ServeClient
-
-_MAX_BODY_BYTES = 256 * 2**20
-
-_NULL_CM = contextlib.nullcontext()
-
-
-class ServeHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server bound to one :class:`ServeClient`."""
-
-    daemon_threads = True
-
-    def __init__(self, address: tuple[str, int], client: ServeClient):
-        super().__init__(address, _Handler)
-        self.client = client
-
-    @property
-    def port(self) -> int:
-        return self.server_address[1]
-
-
-class _Handler(BaseHTTPRequestHandler):
-    protocol_version = "HTTP/1.1"
-
-    # Quiet: the service reports through metrics/traces, not stderr.
-    def log_message(self, fmt, *args) -> None:  # noqa: A003
-        pass
-
-    @property
-    def client_obj(self) -> ServeClient:
-        return self.server.client  # type: ignore[attr-defined]
-
-    # ------------------------------------------------------- responses
-    def _send(self, code: int, body: bytes, content_type: str,
-              extra_headers: dict | None = None) -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        for k, v in (extra_headers or {}).items():
-            self.send_header(k, v)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _json(self, code: int, obj: dict,
-              extra_headers: dict | None = None) -> None:
-        self._send(code, json.dumps(obj).encode(),
-                   "application/json", extra_headers)
-
-    def _error(self, code: int, message: str,
-               extra_headers: dict | None = None) -> None:
-        self._json(code, {"error": message}, extra_headers)
-
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0 or length > _MAX_BODY_BYTES:
-            raise ServeError("missing or oversized request body")
-        try:
-            return json.loads(self.rfile.read(length))
-        except json.JSONDecodeError as exc:
-            raise ServeError(f"invalid JSON body: {exc}") from exc
-
-    # ----------------------------------------------------------- routes
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        _metrics.inc("serve.http_requests", route=f"GET {self.path}")
-        if self.path == "/healthz":
-            self._json(200, self.client_obj.describe())
-        elif self.path == "/metrics":
-            # Process gauges are point-in-time: refresh on each scrape.
-            sample_process_gauges()
-            self._send(
-                200, render_prometheus().encode(),
-                "text/plain; version=0.0.4; charset=utf-8",
-            )
-        elif self.path.startswith("/v1/debug/trace/"):
-            self._get_trace()
-        elif self.path == "/v1/debug/slow":
-            self._json(200, {"slow": self.client_obj.slow_requests()})
-        elif self.path == "/v1/debug/perf":
-            self._json(200, self.client_obj.perf_report())
-        else:
-            self._error(404, f"unknown route GET {self.path}")
-
-    def _get_trace(self) -> None:
-        rest = self.path[len("/v1/debug/trace/"):]
-        trace_id, _, query = rest.partition("?")
-        if not trace_id:
-            self._error(400, "missing trace id")
-            return
-        if query == "format=chrome":
-            events = self.client_obj.trace_chrome(trace_id)
-            if not events:
-                self._error(404, f"unknown trace {trace_id!r}")
-                return
-            self._json(200, {"traceEvents": events,
-                             "displayTimeUnit": "ms"})
-            return
-        tree = self.client_obj.trace(trace_id)
-        if not tree:
-            self._error(404, f"unknown trace {trace_id!r}")
-            return
-        self._json(200, {"trace_id": trace_id, "spans": tree})
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        _metrics.inc("serve.http_requests", route=f"POST {self.path}")
-        with _span("serve.http", route=f"POST {self.path}"):
-            try:
-                if self.path == "/v1/matrices":
-                    self._post_matrices()
-                elif self.path == "/v1/spmv":
-                    self._post_spmv()
-                else:
-                    self._error(404, f"unknown route POST {self.path}")
-            except ServeAdmissionError as exc:
-                self._error(429, str(exc),
-                            extra_headers={"Retry-After": "1"})
-            except ServeError as exc:
-                code = 404 if "unknown matrix fingerprint" in str(exc) \
-                    else 400
-                self._error(code, str(exc))
-            except ReproError as exc:
-                self._error(400, str(exc))
-
-    def _post_matrices(self) -> None:
-        body = self._read_body()
-        if "generate" in body:
-            from ..matrices import generate
-
-            coo = generate(
-                body["generate"],
-                scale=float(body.get("scale", 0.05)),
-                seed=int(body.get("seed", 0)),
-            )
-        else:
-            try:
-                coo = COOMatrix(
-                    tuple(body["shape"]), body["row"], body["col"],
-                    body["val"],
-                )
-            except KeyError as exc:
-                raise ServeError(
-                    f"matrix body needs shape/row/col/val (missing "
-                    f"{exc.args[0]!r}) or a 'generate' name"
-                ) from exc
-        entry = self.client_obj.register(
-            coo,
-            n_threads=(
-                int(body["n_threads"]) if "n_threads" in body else None
-            ),
-        )
-        self._json(200, {
-            "fingerprint": entry.fingerprint,
-            "shape": list(entry.shape),
-            "nnz": entry.nnz,
-            "plan_cache_hit": entry.from_plan_cache,
-            "plan": entry.plan.describe(),
-        })
-
-    def _post_spmv(self) -> None:
-        body = self._read_body()
-        if "fingerprint" not in body or "x" not in body:
-            raise ServeError("spmv body needs 'fingerprint' and 'x'")
-        x = np.asarray(body["x"], dtype=np.float64)
-        # Inbound trace context (malformed headers are ignored, never
-        # an error): the request executes under it, so a sampled caller
-        # gets the whole server-side tree under its own span.
-        ctx = _context.from_header(self.headers.get(TRACE_HEADER))
-        with _context.use(ctx) if ctx is not None else _NULL_CM:
-            y = self.client_obj.spmv(body["fingerprint"], x)
-        extra = {TRACE_HEADER: ctx.to_header()} if ctx is not None \
-            else None
-        self._json(200, {
-            "fingerprint": body["fingerprint"],
-            "y": y.tolist(),
-        }, extra_headers=extra)
-
-
-# ----------------------------------------------------------------------
-def start_server(client: ServeClient, *, host: str = "127.0.0.1",
-                 port: int = 0) -> ServeHTTPServer:
-    """Bind and serve in a daemon thread; ``port=0`` picks a free port.
-    Returns the server (its ``.port`` is the bound port)."""
-    httpd = ServeHTTPServer((host, port), client)
-    thread = threading.Thread(
-        target=httpd.serve_forever, name="serve-http", daemon=True
-    )
-    thread.start()
-    httpd._serve_thread = thread  # type: ignore[attr-defined]
-    return httpd
-
-
-def stop_server(httpd: ServeHTTPServer, *, drain: bool = True) -> None:
-    """Graceful stop: close the listener, then drain the service."""
-    httpd.shutdown()
-    httpd.server_close()
-    thread = getattr(httpd, "_serve_thread", None)
-    if thread is not None:
-        thread.join(timeout=5.0)
-    if drain:
-        httpd.client.drain()
+__all__ = [
+    "MAX_BODY_BYTES",
+    "Request",
+    "Response",
+    "Router",
+    "ServeHTTPServer",
+    "start_server",
+    "stop_server",
+]

@@ -1,0 +1,101 @@
+"""Client lifecycle contracts: close() is idempotent everywhere.
+
+The serving tier now has two client classes (``ServeClient``,
+``ClusterClient``); both follow the same context-manager protocol:
+``close()`` twice is a no-op, and any operation after ``close()``
+raises a clear error instead of hanging on a dead resource.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterClient, ClusterNode
+from repro.errors import ClusterError, ReproError
+from repro.serve.client import ServeClient
+
+from tests.conftest import random_coo
+
+
+@pytest.fixture
+def node():
+    n = ClusterNode(machine="AMD X2", n_threads=1, max_batch=2).start()
+    yield n
+    n.close()
+
+
+class TestServeClientClose:
+    def test_close_is_idempotent(self):
+        """Regression: double ``close()`` must be a no-op, not an
+        error or a hang on already-joined workers."""
+        client = ServeClient("AMD X2", n_threads=1)
+        client.close()
+        client.close()
+
+    def test_context_manager_then_close(self):
+        with ServeClient("AMD X2", n_threads=1) as client:
+            pass
+        client.close()  # after __exit__ already closed it
+
+
+class TestClusterClientLifecycle:
+    def test_context_manager_protocol(self, node, rng):
+        coo = random_coo(24, 24, 0.1, seed=11)
+        fp = node.client.register(coo).fingerprint
+        x = rng.standard_normal(24)
+        with ClusterClient(node.address) as cc:
+            y = cc.spmv(fp, x)
+        assert np.array_equal(y, node.client.spmv(fp, x))
+
+    def test_double_close_is_noop(self, node):
+        cc = ClusterClient(node.address)
+        cc.close()
+        cc.close()
+
+    def test_use_after_close_raises(self, node):
+        cc = ClusterClient(node.address)
+        cc.close()
+        with pytest.raises(ClusterError, match="closed"):
+            cc.spmv("whatever", np.ones(4))
+        with pytest.raises(ClusterError, match="closed"):
+            cc.ping()
+        with pytest.raises(ClusterError, match="closed"):
+            cc.healthz()
+
+    def test_close_inside_with_block_is_safe(self, node):
+        with ClusterClient(node.address) as cc:
+            cc.close()   # __exit__ will close again: still a no-op
+
+    def test_bad_address_rejected_early(self):
+        with pytest.raises(ClusterError, match="address"):
+            ClusterClient("not-an-address")
+
+    def test_operator_follows_solver_protocol(self, node, rng):
+        coo = random_coo(16, 16, 0.2, seed=12)
+        with ClusterClient(node.address) as cc:
+            fp = cc.register(coo)["fingerprint"]
+            op = cc.operator(fp)
+            assert op.shape == (16, 16)
+            assert op.nrows == op.ncols == 16
+            x = rng.standard_normal(16)
+            y = op(x)
+            out = np.zeros(16)      # spmv(x, y=) accumulates: y += A·x
+            y2 = op.spmv(x, y=out)
+            assert y2 is out
+            assert np.array_equal(y, out)
+
+    def test_transport_failure_is_cluster_error(self, node, rng):
+        coo = random_coo(16, 16, 0.2, seed=13)
+        fp = node.client.register(coo).fingerprint
+        cc = ClusterClient(node.address)
+        try:
+            cc.spmv(fp, np.ones(16))
+            node.close()
+            with pytest.raises(ClusterError):
+                cc.spmv(fp, np.ones(16))
+        finally:
+            cc.close()
+
+    def test_error_is_repro_error(self):
+        assert issubclass(ClusterError, ReproError)

@@ -1,0 +1,190 @@
+"""Router end-to-end: 2 in-process nodes, failover, merged traces."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterClient, ClusterNode, ClusterRouter
+from repro.dist.fault import RetryPolicy
+from repro.errors import ClusterError
+from repro.observe import context as _context
+from repro.serve.client import ServeClient
+
+from tests.conftest import random_coo
+
+
+@pytest.fixture
+def cluster():
+    """Two nodes + a router; health scans kept slow so tests control
+    exactly when a dead node is noticed."""
+    nodes = [ClusterNode(machine="AMD X2", n_threads=1,
+                         max_batch=4).start()
+             for _ in range(2)]
+    router = ClusterRouter(
+        [n.address for n in nodes], replication=2,
+        retry=RetryPolicy(max_retries=3, backoff_s=0.01),
+        health_interval_s=60.0).start()
+    try:
+        yield nodes, router
+    finally:
+        router.close()
+        for n in nodes:
+            n.close()
+
+
+def register_through_router(router, coo):
+    body = json.dumps({
+        "shape": list(coo.shape),
+        "row": coo.row.tolist(),
+        "col": coo.col.tolist(),
+        "val": coo.val.tolist(),
+    }).encode()
+    req = urllib.request.Request(
+        f"http://{router.address}/v1/matrices", data=body,
+        method="POST", headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def test_spmv_through_router_matches_local(cluster, rng):
+    nodes, router = cluster
+    coo = random_coo(60, 60, 0.08, seed=3)
+    x = rng.standard_normal(60)
+
+    with ServeClient("AMD X2", n_threads=1) as local:
+        y_ref = local.spmv(local.register(coo).fingerprint, x)
+
+    reply = register_through_router(router, coo)
+    assert len(reply["owners"]) == 2       # replication=2, both nodes
+    assert reply["failed_owners"] == {}
+
+    with ClusterClient(router.address) as cc:
+        y = cc.spmv(reply["fingerprint"], x)
+    assert np.array_equal(y, y_ref)        # bit-identical, not approx
+
+
+def test_json_spmv_through_router(cluster, rng):
+    nodes, router = cluster
+    coo = random_coo(40, 40, 0.1, seed=4)
+    x = rng.standard_normal(40)
+    reply = register_through_router(router, coo)
+
+    body = json.dumps({"fingerprint": reply["fingerprint"],
+                       "x": x.tolist()}).encode()
+    req = urllib.request.Request(
+        f"http://{router.address}/v1/spmv", data=body,
+        method="POST", headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        y = np.asarray(json.loads(resp.read())["y"])
+
+    with ServeClient("AMD X2", n_threads=1) as local:
+        y_ref = local.spmv(local.register(coo).fingerprint, x)
+    assert np.array_equal(y, y_ref)
+
+
+def test_failover_on_node_death(cluster, rng):
+    nodes, router = cluster
+    coo = random_coo(50, 50, 0.1, seed=5)
+    x = rng.standard_normal(50)
+    reply = register_through_router(router, coo)
+    fingerprint = reply["fingerprint"]
+
+    # The router walks owners in ring order, so the node that must
+    # die for a failover to happen is the *primary* owner — which of
+    # the two nodes that is depends on how the ephemeral ports hash.
+    primary_addr = router.placement.owners(fingerprint)[0]
+    primary = next(n for n in nodes if n.address == primary_addr)
+
+    with ClusterClient(router.address) as cc:
+        y_before = cc.spmv(fingerprint, x)
+        # Kill the primary. The health interval is 60s, so the router
+        # still believes it's up — the very next request must hit the
+        # dead socket, count a failover, and serve from the replica.
+        from repro.observe.metrics import get_registry
+        before = get_registry().counter("cluster.failovers")
+        primary.close()
+        y_after = cc.spmv(fingerprint, x)
+        after = get_registry().counter("cluster.failovers")
+
+    assert np.array_equal(y_before, y_after)
+    assert after > before
+    assert router._states[primary_addr].up is False
+
+
+def test_all_replicas_down_is_503(cluster, rng):
+    nodes, router = cluster
+    coo = random_coo(30, 30, 0.1, seed=6)
+    reply = register_through_router(router, coo)
+    for n in nodes:
+        n.close()
+    with ClusterClient(router.address) as cc:
+        with pytest.raises(ClusterError) as err:
+            cc.spmv(reply["fingerprint"],
+                    np.ones(30))
+    assert err.value.status == 503
+
+
+def test_unknown_fingerprint_is_404(cluster):
+    nodes, router = cluster
+    with ClusterClient(router.address) as cc:
+        with pytest.raises(ClusterError) as err:
+            cc.spmv("no-such-fingerprint", np.ones(8))
+    assert err.value.status == 404
+
+
+def test_merged_trace_spans_router_and_node(cluster, rng):
+    nodes, router = cluster
+    coo = random_coo(40, 40, 0.1, seed=7)
+    x = rng.standard_normal(40)
+    reply = register_through_router(router, coo)
+
+    ctx = _context.new_trace(sampled=True)
+    with ClusterClient(router.address) as cc:
+        with _context.use(ctx):
+            cc.spmv(reply["fingerprint"], x)
+
+    with urllib.request.urlopen(
+            f"http://{router.address}/v1/debug/trace/{ctx.trace_id}",
+            timeout=30) as resp:
+        tree = json.loads(resp.read())["spans"]
+
+    def names(spans):
+        out = []
+        for s in spans:
+            out.append(s["name"])
+            out.extend(names(s.get("children", [])))
+        return out
+
+    all_names = names(tree)
+    # one merged tree: router spans AND the node's serve span in it
+    assert "cluster.request" in all_names
+    assert "cluster.forward" in all_names
+    assert "serve.request" in all_names
+    forward = next(s for s in _walk(tree)
+                   if s["name"] == "cluster.forward")
+    child_names = [c["name"] for c in forward.get("children", [])]
+    assert "serve.request" in child_names
+
+
+def _walk(spans):
+    for s in spans:
+        yield s
+        yield from _walk(s.get("children", []))
+
+
+def test_router_healthz_and_metrics(cluster):
+    nodes, router = cluster
+    with urllib.request.urlopen(
+            f"http://{router.address}/healthz", timeout=30) as resp:
+        desc = json.loads(resp.read())
+    assert desc["role"] == "router"
+    assert set(desc["nodes"]) == {n.address for n in nodes}
+
+    with urllib.request.urlopen(
+            f"http://{router.address}/metrics", timeout=30) as resp:
+        text = resp.read().decode()
+    assert "cluster_nodes_up" in text

@@ -72,6 +72,14 @@ DOCUMENTED = {
     "perf.gbs": "histogram",
     "perf.roofline_fraction": "histogram",
     "perf.regressions": "counter",
+    # cluster tier (cluster/router.py / node.py / aserver.py)
+    "cluster.requests": "counter",
+    "cluster.forwards": "counter",
+    "cluster.forward_seconds": "histogram",
+    "cluster.failovers": "counter",
+    "cluster.nodes_up": "gauge",
+    "cluster.wire_bytes": "counter",
+    "cluster.connections": "gauge",
     # standard process gauges (observe/metrics.py, sampled on scrape)
     "process.rss_bytes": "gauge",
     "process.open_fds": "gauge",
@@ -133,6 +141,32 @@ def smoke_registry():
             wd.observe("fp-reg", "csr/numpy", 1.0)
         for _ in range(2):
             wd.observe("fp-reg", "csr/numpy", 0.1)
+        # cluster tier: one node behind a router, one good request
+        # (forwards/forward_seconds/wire_bytes/connections), then kill
+        # the node and request again so the failover path runs (the
+        # health interval is long, so the router still trusts the dead
+        # node and must fail over on the live socket error).
+        from repro.cluster import ClusterClient, ClusterNode, ClusterRouter
+        from repro.dist.fault import RetryPolicy
+        from repro.errors import ClusterError
+
+        node = ClusterNode(machine="AMD X2", n_threads=1,
+                           max_batch=2).start()
+        router = ClusterRouter(
+            [node.address], replication=1,
+            retry=RetryPolicy(max_retries=1, backoff_s=0.001),
+            health_interval_s=60.0).start()
+        cc = ClusterClient(router.address)
+        try:
+            cfp = cc.register(coo)["fingerprint"]
+            cc.spmv(cfp, x)
+            node.close()
+            with pytest.raises(ClusterError):
+                cc.spmv(cfp, x)
+        finally:
+            cc.close()
+            router.close()
+            node.close()
         # process gauges are scrape-sampled; mirror the /metrics path
         sample_process_gauges()
         # let the shard children's DeltaFlushers ship their counters
