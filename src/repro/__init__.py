@@ -34,7 +34,7 @@ from .machines import PlacementPolicy, all_machines, get_machine, machine_names
 from .matrices import generate, suite_names
 from .errors import ReproError
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BCOOMatrix",

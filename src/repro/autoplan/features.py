@@ -26,7 +26,8 @@ from ..parallel.partition import partition_rows_balanced
 
 #: Bump when the feature set or its order changes; corpora and model
 #: artifacts built against another version are invalid.
-FEATURE_VERSION = 1
+#: v2: appended ``sellcs_fill_8`` for the SELL-C-σ sweep candidate.
+FEATURE_VERSION = 2
 
 #: Canonical feature order. The model standardizes by position, so this
 #: tuple *is* the schema — append only, and bump FEATURE_VERSION.
@@ -49,6 +50,7 @@ FEATURE_NAMES: tuple[str, ...] = (
     "fill_4x1",
     "part_imbalance",
     "symmetry",
+    "sellcs_fill_8",
 )
 
 
@@ -65,6 +67,20 @@ class FeatureVector:
 
     def as_dict(self) -> dict[str, float]:
         return dict(zip(self.names, self.to_list()))
+
+
+def _sellcs_fill(coo: COOMatrix, chunk: int = 8) -> float:
+    """nnz_logical / padded elements at the default SELL-C-σ chunk.
+
+    1.0 means the σ-window sort pads nothing; low values predict the
+    format wastes bandwidth on this structure.
+    """
+    from ..formats.sellcs import sellcs_stats
+
+    if coo.nnz_logical == 0 or coo.nrows == 0:
+        return 1.0
+    _, stored = sellcs_stats(coo.row_counts(), chunk)
+    return coo.nnz_logical / max(stored, 1)
 
 
 def _partition_imbalance(coo: COOMatrix) -> float:
@@ -107,6 +123,7 @@ def extract_features(coo: COOMatrix) -> FeatureVector:
             block_fill_ratio(coo, 4, 1),
             _partition_imbalance(coo),
             symmetry_fraction(coo),
+            _sellcs_fill(coo),
         ],
         dtype=np.float64,
     )

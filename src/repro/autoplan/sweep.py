@@ -8,8 +8,9 @@ result so the plan cache can record them as sample weights.
 
 Candidate labels double as the classifier's target classes, so the set
 must stay small and stable: ``heuristic`` (the paper's one-pass
-choice), plain ``csr``, and the power-of-two BCSR tiles that dominate
-Table 4.
+choice), plain ``csr``, the power-of-two BCSR tiles that dominate
+Table 4, and ``sellcs`` (SELL-C-σ, the vector-friendly format that
+wins on short-row matrices).
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ CANDIDATE_LABELS: tuple[str, ...] = (
     "bcsr-4x4",
     "bcsr-1x4",
     "bcsr-4x1",
+    "sellcs",
 )
 
 
@@ -52,6 +54,14 @@ def config_for_label(
         return dataclasses.replace(
             base, label=f"{base.label}+csr", register_blocking=False,
             allow_bcoo=False,
+        )
+    if label == "sellcs":
+        # SELL-C-σ replaces both register and cache blocking; each
+        # thread part is stored whole under the σ-window sort.
+        return dataclasses.replace(
+            base, label=f"{base.label}+sellcs", register_blocking=False,
+            allow_bcoo=False, allow_gcsr=False, cache_blocking=False,
+            tlb_blocking=False, sellcs_chunk=8, sellcs_sigma=128,
         )
     if label.startswith("bcsr-") and "x" in label[5:]:
         r_s, _, c_s = label[5:].partition("x")

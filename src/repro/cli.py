@@ -661,51 +661,78 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_kernels(args) -> int:
-    """Compiled-variant inventory: cache status per (fmt, r, c, width)."""
+    """Compiled-variant inventory: cache status per (fmt, tile, width,
+    ISA), this compiler's probed capabilities, and cache statistics."""
     import os
 
     from .formats.base import IndexWidth
     from .formats.bcsr import POWER_OF_TWO_BLOCKS
+    from .formats.sellcs import DEFAULT_CHUNK
     from .kernels.cbackend import (
+        SUPPORTED_ISAS,
         Variant,
         c_backend_available,
         cache_dir,
+        cache_stats,
+        compiler_capabilities,
         find_compiler,
         get_c_kernel,
         loaded_variants,
         object_path,
+        purge_cache,
     )
 
+    if args.purge:
+        stats = cache_stats()
+        removed = purge_cache()
+        print(f"purged {removed} cached object(s) "
+              f"({stats['bytes']:,} bytes) from {stats['dir']}")
+        return 0
     if not c_backend_available():
         print("C backend unavailable (REPRO_DISABLE_CC set, or no "
               "cc/gcc/clang on PATH); NumPy fallback is active",
               file=sys.stderr)
         return 1
-    variants = [Variant("csr", 1, 1, w)
-                for w in (IndexWidth.I16, IndexWidth.I32)]
+    caps = compiler_capabilities()
+    bases = [("csr", 1, 1), ("sellcs", DEFAULT_CHUNK, 1)]
     for fmt in ("bcsr", "bcoo"):
-        for r, c in POWER_OF_TWO_BLOCKS:
-            for w in (IndexWidth.I16, IndexWidth.I32):
-                variants.append(Variant(fmt, r, c, w))
+        bases.extend((fmt, r, c) for r, c in POWER_OF_TWO_BLOCKS)
+    variants = []
+    for fmt, r, c in bases:
+        for w in (IndexWidth.I16, IndexWidth.I32):
+            for isa in SUPPORTED_ISAS[fmt]:
+                variants.append(Variant(fmt, r, c, w, isa))
     if args.warm:
         for v in variants:
-            get_c_kernel(v.fmt, v.r, v.c, v.index_width)
+            if v.isa == "scalar" or v.isa in caps:
+                get_c_kernel(v.fmt, v.r, v.c, v.index_width, isa=v.isa)
     loaded = {v.name for v in loaded_variants()}
     rows = []
     for v in variants:
-        path = object_path(v)
-        compiled = os.path.exists(path)
+        capable = v.isa == "scalar" or v.isa in caps
+        # object_path refuses uncapable ISAs (their build flags don't
+        # exist on this compiler), so only resolve it when capable.
+        path = object_path(v) if capable else ""
+        compiled = capable and os.path.exists(path)
         status = ("validated" if v.name in loaded
-                  else "compiled" if compiled else "-")
-        rows.append([v.fmt, f"{v.r}x{v.c}", v.bits, status,
-                     os.path.basename(path) if compiled else "-"])
+                  else "compiled" if compiled
+                  else "-" if capable else "uncapable")
+        rows.append([
+            v.fmt, f"{v.r}x{v.c}", v.bits, v.isa,
+            "yes" if capable else "no", status,
+            os.path.basename(path) if compiled else "-",
+        ])
     cc = find_compiler()
     print(format_table(
-        ["format", "tile", "idx bits", "status", "cached object"],
+        ["format", "tile", "idx bits", "isa", "capable", "status",
+         "cached object"],
         rows,
-        title=f"C kernel variants — cache {cache_dir()} — "
-              f"compiler: {cc[1] if cc else 'none'}",
+        title=f"C kernel variants — compiler: {cc[1] if cc else 'none'} "
+              f"— capabilities: {', '.join(caps) or 'scalar only'}",
     ))
+    stats = cache_stats()
+    print(f"\ncache {cache_dir()}: {stats['objects']} object(s), "
+          f"{stats['bytes']:,} bytes")
     return 0
 
 
@@ -1068,6 +1095,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--warm", action="store_true",
                     help="compile + validate every variant first")
+    sp.add_argument("--purge", action="store_true",
+                    help="delete every cached kernel object and exit")
 
     sp = sub.add_parser("plan-cache",
                         help="inspect, clear, or export the tuned-plan "

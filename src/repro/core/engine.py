@@ -35,7 +35,7 @@ from .heuristics import (
 
 
 from .optimizer import OptimizationLevel, optimization_config
-from .plan import OptimizationConfig, SpmvPlan
+from .plan import OptimizationConfig, SpmvPlan, forced_index_width
 
 
 def _sorted_block_unique(bid_sorted: np.ndarray, values_sorted: np.ndarray,
@@ -247,6 +247,10 @@ class SpmvEngine:
         footprint heuristic, and build per-block profiles — all
         vectorized (no per-nonzero Python)."""
         row, col = part.row, part.col
+        if config.sellcs_chunk > 0:
+            return self._plan_part_sellcs(
+                part, config, part_id, p0, line_elems, page_elems
+            )
         # Specs are ordered row-panel-major; group spans by panel.
         panels: list[tuple[int, int, list[tuple[int, int]]]] = []
         for (r0, r1, c0, c1) in specs:
@@ -376,8 +380,65 @@ class SpmvEngine:
             out_choices.append((ext, choice))
         return profiles, out_choices
 
+    def _plan_part_sellcs(
+        self,
+        part: _RawBlock,
+        config: OptimizationConfig,
+        part_id: int,
+        p0: int,
+        line_elems: int,
+        page_elems: int | None,
+    ) -> tuple[list[BlockProfile], list]:
+        """SELL-C-σ stores each thread part whole: the σ-window sort is
+        the locality transform, so there is exactly one block per part
+        and the format choice is fixed by the config."""
+        from ..formats.sellcs import (
+            SellCSMatrix,
+            normalize_sigma,
+            sellcs_stats,
+        )
+
+        row, col = part.row, part.col
+        m_part, n = part.shape
+        chunk = int(config.sellcs_chunk)
+        sigma = normalize_sigma(
+            chunk, config.sellcs_sigma if config.sellcs_sigma > 0 else None
+        )
+        counts = np.bincount(row, minlength=m_part)
+        n_slices, nnz_stored = sellcs_stats(counts, chunk, sigma)
+        width = forced_index_width(config, n)
+        footprint = SellCSMatrix.estimate_footprint(
+            nnz_stored, n_slices, m_part, width
+        )
+        choice = FormatChoice(
+            format_name="sellcs", r=chunk, c=sigma, index_width=width,
+            ntiles=n_slices, nnz_stored=nnz_stored, footprint=footprint,
+            n_segments=n_slices,
+        )
+        ext = (p0, p0 + m_part, 0, n)
+        profile = BlockProfile(
+            r0=ext[0], r1=ext[1], c0=ext[2], c1=ext[3],
+            format_name="sellcs", r=chunk, c=sigma,
+            index_bytes=choice.index_bytes, ntiles=n_slices,
+            nnz_stored=nnz_stored, nnz_logical=len(row),
+            n_segments=n_slices, matrix_bytes=footprint,
+            x_unique_lines=int(len(np.unique(col // line_elems))),
+            x_accesses=len(row),
+            rows_touched=int(len(np.unique(row))),
+            pages_touched=(
+                int(len(np.unique(col // page_elems)))
+                if page_elems is not None else 0
+            ),
+            thread=part_id,
+            x_window_line_pairs=0, x_window_page_pairs=0, n_windows=1,
+        )
+        return [profile], [(ext, choice)]
+
     def _block_specs(self, part: _RawBlock, config: OptimizationConfig):
         m_part, n = part.shape
+        if config.sellcs_chunk > 0:
+            # One block per part; the σ sort replaces cache blocking.
+            return [(0, m_part, 0, n)]
         if config.cell_dense_blocking:
             return cell_block_specs(part, self.machine)
         if config.cache_blocking:

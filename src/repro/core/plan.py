@@ -9,7 +9,13 @@ import numpy as np
 from ..errors import TuningError
 from ..formats.base import IndexWidth, SparseFormat
 from ..formats.blocked import CacheBlock, CacheBlockedMatrix
-from ..formats.convert import coo_to_csr, to_bcoo, to_bcsr, to_gcsr
+from ..formats.convert import (
+    coo_to_csr,
+    to_bcoo,
+    to_bcsr,
+    to_gcsr,
+    to_sellcs,
+)
 from ..formats.coo import COOMatrix
 from ..machines.model import Machine, PlacementPolicy
 from ..parallel.partition import RowPartition
@@ -31,6 +37,12 @@ class OptimizationConfig:
     allow_bcoo: bool = False
     allow_gcsr: bool = False
     cell_dense_blocking: bool = False  #: the partially-optimized Cell path
+    #: SELL-C-σ slice height; 0 disables the format. When set, each
+    #: thread part is stored whole as SELL-C-σ (no cache blocking —
+    #: the σ-window sort is its own locality transform).
+    sellcs_chunk: int = 0
+    #: SELL-C-σ sort-window size in rows (0 = the format default).
+    sellcs_sigma: int = 0
     #: Restrict register-block candidates (None = all power-of-two up to
     #: 4x4). The OSKI baseline pins this to its profile-chosen blocking.
     block_candidates: tuple[tuple[int, int], ...] | None = None
@@ -50,6 +62,8 @@ class OptimizationConfig:
             "allow_bcoo": self.allow_bcoo,
             "allow_gcsr": self.allow_gcsr,
             "cell_dense_blocking": self.cell_dense_blocking,
+            "sellcs_chunk": self.sellcs_chunk,
+            "sellcs_sigma": self.sellcs_sigma,
             "block_candidates": (
                 None if self.block_candidates is None
                 else [list(rc) for rc in self.block_candidates]
@@ -73,6 +87,10 @@ class OptimizationConfig:
             allow_bcoo=bool(d["allow_bcoo"]),
             allow_gcsr=bool(d["allow_gcsr"]),
             cell_dense_blocking=bool(d["cell_dense_blocking"]),
+            # Plans serialized before SELL-C-σ existed load with the
+            # format disabled.
+            sellcs_chunk=int(d.get("sellcs_chunk", 0)),
+            sellcs_sigma=int(d.get("sellcs_sigma", 0)),
             block_candidates=(
                 None if cands is None
                 else tuple((int(r), int(c)) for r, c in cands)
@@ -216,6 +234,10 @@ def _build_format(local: COOMatrix, choice: FormatChoice) -> SparseFormat:
     if choice.format_name == "bcoo":
         return to_bcoo(local, choice.r, choice.c,
                        index_width=choice.index_width)
+    if choice.format_name == "sellcs":
+        # r carries the slice height C, c the σ sort window.
+        return to_sellcs(local, chunk=choice.r, sigma=choice.c,
+                         index_width=choice.index_width)
     raise TuningError(f"unknown format in choice: {choice.format_name!r}")
 
 

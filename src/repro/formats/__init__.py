@@ -16,6 +16,9 @@ optimization study manipulates:
 * :class:`~repro.formats.blocked.CacheBlockedMatrix` — the compound
   cache/TLB-blocked format whose sub-blocks each carry their own
   heuristically chosen sub-format.
+* :class:`~repro.formats.sellcs.SellCSMatrix` — SELL-C-σ sorted sliced
+  ELLPACK, the vector-friendly format of the many-core follow-ups, for
+  short-row and irregular matrices.
 
 Index compression (16-bit vs 32-bit column/row indices) is a property of
 each concrete format; see :mod:`repro.formats.index`.
@@ -32,6 +35,7 @@ from .convert import (
     to_bcsr,
     to_cache_blocked,
     to_gcsr,
+    to_sellcs,
 )
 from .coo import COOMatrix
 from .csr import CSRMatrix
@@ -39,6 +43,7 @@ from .footprint import format_footprint_bytes, naive_footprint_bytes
 from .gcsr import GCSRMatrix
 from .index import index_dtype, min_index_width, validate_index_width
 from .multivector import spmm, spmm_intensity_gain
+from .sellcs import SellCSMatrix
 from .symmetric import SymmetricCSRMatrix
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "CSRMatrix",
     "GCSRMatrix",
     "IndexWidth",
+    "SellCSMatrix",
     "SparseFormat",
     "SymmetricCSRMatrix",
     "coo_to_csr",
@@ -64,5 +70,6 @@ __all__ = [
     "to_bcsr",
     "to_cache_blocked",
     "to_gcsr",
+    "to_sellcs",
     "validate_index_width",
 ]

@@ -138,6 +138,13 @@ def to_bcoo(
 
 
 # ----------------------------------------------------------------------
+# SELL-C-σ (implemented in formats/sellcs.py; re-exported here so every
+# COO→format conversion is reachable from one module)
+# ----------------------------------------------------------------------
+from .sellcs import to_sellcs  # noqa: E402
+
+
+# ----------------------------------------------------------------------
 # Cache blocking
 # ----------------------------------------------------------------------
 #: A block extent: (r0, r1, c0, c1), half-open.

@@ -2,10 +2,23 @@
 
 Each variant compiles once with the system C compiler into a shared
 object cached on disk. The cache key folds together the generated
-source, the compiler identity (``cc --version`` first line), the flag
-set, and ``repro.__version__`` — touching the generator, switching
-compilers, or upgrading the library all invalidate stale objects
+source, the compiler identity (``cc --version`` first line plus any
+user-supplied flags), the full flag set (base + user + ISA), and
+``repro.__version__`` — touching the generator, switching compilers or
+flags, or upgrading the library all invalidate stale objects
 automatically.
+
+Capability probing (codegen v2)
+-------------------------------
+SIMD and software-prefetch variants only build when the compiler
+demonstrably supports what they need. :func:`compiler_capabilities`
+compiles two tiny probe programs once per compiler identity:
+
+* ``simd`` — ``#pragma omp simd reduction`` under ``-fopenmp-simd``;
+* ``prefetch`` — ``__builtin_prefetch``.
+
+A compiler that fails a probe simply never gets asked to build the
+corresponding variants; the scalar emitter is the guaranteed fallback.
 
 Environment knobs
 -----------------
@@ -13,8 +26,14 @@ Environment knobs
     Any non-empty value other than ``0`` disables the backend entirely
     (used by CI to prove the pure-NumPy fallback path).
 ``REPRO_CC``
-    Compiler executable to use (default: first of ``cc``, ``gcc``,
-    ``clang`` on ``PATH``).
+    Compiler command to use (default: first of ``cc``, ``gcc``,
+    ``clang`` on ``PATH``). May embed extra flags, e.g.
+    ``REPRO_CC='cc -fno-tree-vectorize'`` — the flags join every build
+    and the cache key.
+``REPRO_CC_CAPS``
+    Capability override, bypassing the probes: a comma/space-separated
+    subset of ``simd,prefetch``. ``scalar``, ``none``, or an empty
+    value force the scalar-only ladder (the CI degraded-build leg).
 ``REPRO_CKERNEL_CACHE``
     Cache directory (default ``~/.cache/repro/ckernels``).
 
@@ -28,12 +47,14 @@ from __future__ import annotations
 
 import hashlib
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
 import threading
 
 from ...errors import KernelError
+from ...observe import metrics as _metrics
 from .codegen import Variant, c_kernel_source
 
 #: Flag set baked into every build (and into the cache key).
@@ -42,10 +63,16 @@ from .codegen import Variant, c_kernel_source
 CFLAGS = ("-O3", "-std=c99", "-fPIC", "-shared", "-ffp-contract=off",
           "-fno-math-errno")
 
+#: Capabilities the probes can detect (superset of what any one
+#: compiler reports).
+CAPABILITIES = ("simd", "prefetch")
+
 _COMPILER_CANDIDATES = ("cc", "gcc", "clang")
 
 _lock = threading.Lock()
 _compiler_cache: dict[str, tuple[str, str] | None] = {}
+_caps_cache: dict[str, frozenset[str]] = {}
+_native_cache: dict[str, tuple[str, ...]] = {}
 
 
 class CBackendUnavailable(KernelError):
@@ -57,17 +84,33 @@ def cc_disabled() -> bool:
     return os.environ.get("REPRO_DISABLE_CC", "0") not in ("", "0")
 
 
+def compiler_extra_flags() -> tuple[str, ...]:
+    """Flags embedded in ``REPRO_CC`` after the executable itself."""
+    env = os.environ.get("REPRO_CC")
+    if not env:
+        return ()
+    return tuple(shlex.split(env)[1:])
+
+
 def find_compiler() -> tuple[str, str] | None:
     """Locate the system compiler: ``(executable, identity line)``.
 
     Returns None when no compiler is usable or the backend is disabled.
     The identity probe (one ``--version`` run per executable) is cached
-    for the life of the process.
+    for the life of the process. When ``REPRO_CC`` embeds extra flags,
+    they fold into the identity so the object cache distinguishes
+    flag sets.
     """
     if cc_disabled():
         return None
-    names = [os.environ["REPRO_CC"]] if os.environ.get("REPRO_CC") \
-        else list(_COMPILER_CANDIDATES)
+    env = os.environ.get("REPRO_CC")
+    if env:
+        parts = shlex.split(env)
+        names = [parts[0]] if parts else []
+        extra = " ".join(parts[1:])
+    else:
+        names = list(_COMPILER_CANDIDATES)
+        extra = ""
     for name in names:
         cached = _compiler_cache.get(name, False)
         if cached is not False:
@@ -91,6 +134,8 @@ def find_compiler() -> tuple[str, str] | None:
         except (OSError, subprocess.TimeoutExpired, IndexError):
             _compiler_cache[name] = None
             continue
+        if extra:
+            ident = f"{ident} [{extra}]"
         _compiler_cache[name] = (path, ident)
         return path, ident
     return None
@@ -98,6 +143,167 @@ def find_compiler() -> tuple[str, str] | None:
 
 def compiler_available() -> bool:
     return find_compiler() is not None
+
+
+# ----------------------------------------------------------------------
+# Capability probes
+# ----------------------------------------------------------------------
+#: capability -> (probe translation unit, extra flags the probe and any
+#: kernel using the capability must build with).
+_CAP_PROBES: dict[str, tuple[str, tuple[str, ...]]] = {
+    "simd": (
+        "double repro_probe(const double *a, const double *b, int n)\n"
+        "{\n"
+        "    double s = 0.0;\n"
+        "    #pragma omp simd reduction(+:s)\n"
+        "    for (int i = 0; i < n; ++i)\n"
+        "        s += a[i] * b[i];\n"
+        "    return s;\n"
+        "}\n",
+        ("-fopenmp-simd",),
+    ),
+    "prefetch": (
+        "void repro_probe(const double *p)\n"
+        "{\n"
+        "    __builtin_prefetch(p, 0, 1);\n"
+        "}\n",
+        (),
+    ),
+}
+
+
+def _probe_capability(cc_path: str, cap: str) -> bool:
+    """Compile the tiny probe for one capability; True on success."""
+    source, flags = _CAP_PROBES[cap]
+    tmpdir = tempfile.mkdtemp(prefix="repro_ccprobe_")
+    src = os.path.join(tmpdir, "probe.c")
+    obj = os.path.join(tmpdir, "probe.o")
+    try:
+        with open(src, "w") as f:
+            f.write(source)
+        proc = subprocess.run(
+            [cc_path, *compiler_extra_flags(), *flags, "-c", src,
+             "-o", obj],
+            capture_output=True, text=True, timeout=30,
+        )
+        return proc.returncode == 0
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def compiler_capabilities() -> frozenset[str]:
+    """ISA capabilities of the active compiler (probed once, cached).
+
+    ``REPRO_CC_CAPS`` overrides the probes entirely; ``scalar``/
+    ``none``/empty mean "no capabilities" (scalar-only ladder).
+    Always the empty set when the backend is disabled or absent.
+    """
+    override = os.environ.get("REPRO_CC_CAPS")
+    if override is not None:
+        tokens = {t.strip() for t in override.replace(",", " ").split()}
+        return frozenset(tokens & set(CAPABILITIES))
+    cc = find_compiler()
+    if cc is None:
+        return frozenset()
+    cc_path, cc_id = cc
+    hit = _caps_cache.get(cc_id)
+    if hit is not None:
+        return hit
+    caps = frozenset(
+        cap for cap in CAPABILITIES if _probe_capability(cc_path, cap)
+    )
+    _caps_cache[cc_id] = caps
+    for cap in CAPABILITIES:
+        _metrics.gauge("c_backend.capability",
+                       1.0 if cap in caps else 0.0, cap=cap)
+    return caps
+
+
+def native_arch_flags() -> tuple[str, ...]:
+    """Host-tuning flag the compiler accepts, probed once per compiler.
+
+    ``#pragma omp simd`` without a vector ISA targets baseline SSE2
+    (no hardware gather), so the vectorized rungs also build with
+    ``-march=native`` (or ``-mcpu=native`` on targets that spell it
+    that way). A compiler that rejects both gets no host tuning. The
+    scalar rung never uses these flags — it stays the portable,
+    bit-stable floor.
+    """
+    cc = find_compiler()
+    if cc is None:
+        return ()
+    _, cc_id = cc
+    hit = _native_cache.get(cc_id)
+    if hit is not None:
+        return hit
+    flags: tuple[str, ...] = ()
+    for cand in ("-march=native", "-mcpu=native"):
+        if _probe_flag(cc[0], cand):
+            flags = (cand,)
+            break
+    _native_cache[cc_id] = flags
+    return flags
+
+
+def _probe_flag(cc_path: str, flag: str) -> bool:
+    """Does a trivial translation unit compile cleanly under ``flag``?"""
+    tmpdir = tempfile.mkdtemp(prefix="repro_ccprobe_")
+    src = os.path.join(tmpdir, "probe.c")
+    obj = os.path.join(tmpdir, "probe.o")
+    try:
+        with open(src, "w") as f:
+            f.write("int repro_probe(int a) { return a + 1; }\n")
+        proc = subprocess.run(
+            [cc_path, *compiler_extra_flags(), flag, "-Werror",
+             "-c", src, "-o", obj],
+            capture_output=True, text=True, timeout=30,
+        )
+        return proc.returncode == 0
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def isa_build_flags(isa: str) -> tuple[str, ...]:
+    """Extra flags an ISA level needs, or raise when unsupported here.
+
+    ``simd`` needs the ``simd`` capability and builds with
+    ``-fopenmp-simd`` plus the probed host-tuning flag (hardware
+    gather/wide vectors for the lane loops); ``prefetch`` needs the
+    ``prefetch`` capability (and picks up the simd flags
+    opportunistically so mixed pragma/prefetch kernels vectorize where
+    possible). ``scalar`` always builds with the portable base flags
+    only.
+    """
+    if isa == "scalar":
+        return ()
+    caps = compiler_capabilities()
+    if isa == "simd":
+        if "simd" not in caps:
+            raise KernelError(
+                "compiler lacks the 'simd' capability "
+                "(#pragma omp simd under -fopenmp-simd)"
+            )
+        return (*_CAP_PROBES["simd"][1], *native_arch_flags())
+    if isa == "prefetch":
+        if "prefetch" not in caps:
+            raise KernelError(
+                "compiler lacks the 'prefetch' capability "
+                "(__builtin_prefetch)"
+            )
+        if "simd" in caps:
+            return (*_CAP_PROBES["simd"][1], *native_arch_flags())
+        return ()
+    raise KernelError(f"unknown ISA level {isa!r}")
+
+
+def build_flags(variant: Variant) -> tuple[str, ...]:
+    """Complete flag set one variant builds with (base + env + ISA)."""
+    return (*CFLAGS, *compiler_extra_flags(),
+            *isa_build_flags(variant.isa))
 
 
 def cache_dir() -> str:
@@ -110,12 +316,35 @@ def cache_dir() -> str:
     return root
 
 
+def _host_cpu_id() -> str:
+    """Best-effort host CPU identity, for ``-march=native`` cache keys.
+
+    An object tuned for this host's CPU must not be picked up by a
+    different host sharing the cache directory (e.g. an NFS home), so
+    the CPU model folds into the key whenever host tuning is active.
+    """
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    import platform
+
+    return platform.machine() or "unknown-cpu"
+
+
 def object_key(variant: Variant, source: str, compiler_id: str) -> str:
     """Content hash identifying one compiled object."""
     from ... import __version__
 
+    flags = build_flags(variant)
+    parts = [source, compiler_id, " ".join(flags), __version__]
+    if any(f.endswith("=native") for f in flags):
+        parts.append(_host_cpu_id())
     h = hashlib.sha256()
-    for part in (source, compiler_id, " ".join(CFLAGS), __version__):
+    for part in parts:
         h.update(part.encode())
         h.update(b"\x00")
     return h.hexdigest()[:16]
@@ -142,7 +371,8 @@ def build_variant(variant: Variant) -> str:
     """Compile (or fetch from cache) one variant; returns the .so path.
 
     Raises :class:`CBackendUnavailable` when no compiler is present and
-    :class:`KernelError` when compilation itself fails.
+    :class:`KernelError` when compilation itself fails or the variant's
+    ISA level is beyond this compiler's probed capabilities.
     """
     cc = find_compiler()
     if cc is None:
@@ -151,12 +381,15 @@ def build_variant(variant: Variant) -> str:
             "cc/gcc/clang on PATH)"
         )
     cc_path, cc_id = cc
+    flags = build_flags(variant)   # raises on missing ISA capability
     source = c_kernel_source(variant)
     out_path = object_path(variant, compiler_id=cc_id, source=source)
     if os.path.exists(out_path):
+        _metrics.inc("c_backend.cache_hits", isa=variant.isa)
         return out_path
     with _lock:
         if os.path.exists(out_path):  # lost the race inside the process
+            _metrics.inc("c_backend.cache_hits", isa=variant.isa)
             return out_path
         os.makedirs(cache_dir(), exist_ok=True)
         fd, tmp_so = tempfile.mkstemp(
@@ -169,7 +402,7 @@ def build_variant(variant: Variant) -> str:
             with open(src_path, "w") as f:
                 f.write(source)
             proc = subprocess.run(
-                [cc_path, *CFLAGS, src_path, "-o", tmp_so],
+                [cc_path, *flags, src_path, "-o", tmp_so],
                 capture_output=True, text=True, timeout=120,
             )
             if proc.returncode != 0:
@@ -178,6 +411,7 @@ def build_variant(variant: Variant) -> str:
                     f"({cc_path}): {proc.stderr.strip()[:2000]}"
                 )
             os.replace(tmp_so, out_path)   # atomic publish
+            _metrics.inc("c_backend.compiles", isa=variant.isa)
         except (OSError, subprocess.TimeoutExpired) as exc:
             raise KernelError(
                 f"C compilation of {variant.name} failed: {exc}"
@@ -189,3 +423,44 @@ def build_variant(variant: Variant) -> str:
                 except OSError:
                     pass
     return out_path
+
+
+# ----------------------------------------------------------------------
+# Cache maintenance (the `repro kernels` CLI surface)
+# ----------------------------------------------------------------------
+def cache_stats() -> dict:
+    """Objects and bytes resident in the on-disk kernel cache."""
+    root = cache_dir()
+    objects = 0
+    total = 0
+    try:
+        for name in os.listdir(root):
+            if name.endswith(".so"):
+                objects += 1
+                try:
+                    total += os.path.getsize(os.path.join(root, name))
+                except OSError:
+                    pass
+    except OSError:
+        pass
+    return {"dir": root, "objects": objects, "bytes": total}
+
+
+def purge_cache() -> int:
+    """Delete every cached object (and stray temp files); returns the
+    number of files removed. Loaded kernels keep working — the mapped
+    objects stay alive until process exit."""
+    root = cache_dir()
+    removed = 0
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    for name in names:
+        if name.endswith((".so", ".so.tmp", ".c")):
+            try:
+                os.unlink(os.path.join(root, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed

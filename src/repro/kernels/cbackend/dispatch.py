@@ -17,7 +17,7 @@ import numpy as np
 from ...errors import KernelError, MatrixFormatError
 from ...observe import metrics as _metrics
 from .build import CBackendUnavailable, compiler_available
-from .loader import CKernel, get_c_kernel
+from .loader import CKernel, get_best_c_kernel
 
 
 def c_backend_available() -> bool:
@@ -31,10 +31,12 @@ def supports_format(matrix) -> bool:
     from ...formats.bcsr import BCSRMatrix
     from ...formats.blocked import CacheBlockedMatrix
     from ...formats.csr import CSRMatrix
+    from ...formats.sellcs import SellCSMatrix
 
     if isinstance(matrix, CacheBlockedMatrix):
         return all(supports_format(b.matrix) for b in matrix.blocks)
-    return isinstance(matrix, (CSRMatrix, BCSRMatrix, BCOOMatrix))
+    return isinstance(matrix,
+                      (CSRMatrix, BCSRMatrix, BCOOMatrix, SellCSMatrix))
 
 
 def _require_available() -> None:
@@ -56,12 +58,25 @@ def _spmv_c_format(matrix, x: np.ndarray, y: np.ndarray,
     is accumulated in place and returned.
     """
     from ...formats.csr import CSRMatrix
+    from ...formats.sellcs import SellCSMatrix
 
     if isinstance(matrix, CSRMatrix):
         kernel.spmv(
             matrix.indptr.ctypes.data, matrix.indices.ctypes.data,
             matrix.data.ctypes.data, x.ctypes.data, y.ctypes.data,
             0, matrix.nrows,
+        )
+        return y
+    if isinstance(matrix, SellCSMatrix):
+        # The kernel gathers y through perm, accumulates per-slice on
+        # the stack, and scatters back — the same gather/scatter pair
+        # as the NumPy spmv (identical summation order), with no
+        # Python-side permuted temporary.
+        kernel.spmv(
+            matrix.slice_ptr.ctypes.data, matrix.cols.ctypes.data,
+            matrix.vals.ctypes.data, matrix.perm.ctypes.data,
+            x.ctypes.data, y.ctypes.data,
+            0, matrix.n_slices, matrix.nrows,
         )
         return y
     # Blocked formats compute on tile-padded vectors, exactly like the
@@ -86,13 +101,16 @@ def _spmv_c_format(matrix, x: np.ndarray, y: np.ndarray,
 
 
 def _kernel_for(matrix) -> CKernel | None:
-    """Validated kernel for a csr/bcsr/bcoo matrix, or None when this
-    variant is broken (build/validation failure → NumPy fallback)."""
+    """Best-ISA validated kernel for a csr/bcsr/bcoo/sellcs matrix, or
+    None when every ladder level is broken (→ NumPy fallback)."""
     try:
         if matrix.format_name == "csr":
-            return get_c_kernel("csr", 1, 1, matrix.index_width)
-        return get_c_kernel(matrix.format_name, matrix.r, matrix.c,
-                            matrix.index_width)
+            return get_best_c_kernel("csr", 1, 1, matrix.index_width)
+        if matrix.format_name == "sellcs":
+            return get_best_c_kernel("sellcs", matrix.chunk, 1,
+                                     matrix.index_width)
+        return get_best_c_kernel(matrix.format_name, matrix.r, matrix.c,
+                                 matrix.index_width)
     except CBackendUnavailable:
         raise
     except KernelError:
@@ -102,8 +120,8 @@ def _kernel_for(matrix) -> CKernel | None:
 def _spmv_c_block(matrix, x: np.ndarray, y: np.ndarray) -> None:
     """One block: compiled when specialized+valid, NumPy otherwise."""
     fmt = matrix.format_name
-    kernel = _kernel_for(matrix) if fmt in ("csr", "bcsr", "bcoo") \
-        else None
+    kernel = _kernel_for(matrix) \
+        if fmt in ("csr", "bcsr", "bcoo", "sellcs") else None
     if kernel is not None:
         _metrics.inc("c_backend.calls", fmt=fmt)
         _spmv_c_format(matrix, x, y, kernel)
@@ -146,9 +164,9 @@ def spmm_c(matrix, x: np.ndarray,
            y: np.ndarray | None = None) -> np.ndarray:
     """``Y ← Y + A·X`` on the compiled path.
 
-    CSR matrices (and CSR blocks of a cache-blocked matrix) run the
-    fused multi-vector kernel — one matrix sweep for all k columns;
-    other formats fall back to the NumPy SpMM.
+    CSR and SELL-C-σ matrices (including CSR blocks of a cache-blocked
+    matrix) run the fused multi-vector kernel — one matrix sweep for
+    all k columns; other formats fall back to the NumPy SpMM.
     """
     from ...formats.blocked import CacheBlockedMatrix
 
@@ -188,17 +206,27 @@ def _spmm_c_block(matrix, x: np.ndarray, y: np.ndarray) -> None:
     rows are contiguous (a row slice of a contiguous array is fine)."""
     from ...formats.csr import CSRMatrix
     from ...formats.multivector import spmm as _np_spmm
+    from ...formats.sellcs import SellCSMatrix
 
     k = x.shape[1]
-    kernel = _kernel_for(matrix) if isinstance(matrix, CSRMatrix) \
-        else None
+    kernel = _kernel_for(matrix) \
+        if isinstance(matrix, (CSRMatrix, SellCSMatrix)) else None
     if kernel is not None and y.strides == (8 * k, 8):
-        _metrics.inc("c_backend.calls", fmt="csr_spmm")
-        kernel.spmm(
-            matrix.indptr.ctypes.data, matrix.indices.ctypes.data,
-            matrix.data.ctypes.data, x.ctypes.data, y.ctypes.data,
-            0, matrix.nrows, k,
-        )
+        if isinstance(matrix, SellCSMatrix):
+            _metrics.inc("c_backend.calls", fmt="sellcs_spmm")
+            kernel.spmm(
+                matrix.slice_ptr.ctypes.data, matrix.cols.ctypes.data,
+                matrix.vals.ctypes.data, matrix.perm.ctypes.data,
+                x.ctypes.data, y.ctypes.data,
+                0, matrix.n_slices, k, matrix.nrows,
+            )
+        else:
+            _metrics.inc("c_backend.calls", fmt="csr_spmm")
+            kernel.spmm(
+                matrix.indptr.ctypes.data, matrix.indices.ctypes.data,
+                matrix.data.ctypes.data, x.ctypes.data, y.ctypes.data,
+                0, matrix.nrows, k,
+            )
     else:
         _metrics.inc("c_backend.fallbacks",
                      fmt=f"{matrix.format_name}_spmm")

@@ -11,12 +11,23 @@ compiled code and compared against
 tolerance. A kernel that fails the probe never becomes eligible for
 dispatch — a miscompiled object degrades to the NumPy path instead of
 corrupting results.
+
+Variant selection is *empirical*, in the paper's search-based spirit:
+every ISA rung the compiler's probed capabilities support is built and
+validated, then the survivors race on a deterministic mid-size probe
+matrix and the fastest wins — a static preference order cannot know
+that e.g. software prefetch loses to the hardware prefetchers on a
+given host. The winner is cached per (format, tile, width) for the
+process and recorded once under ``kernels.variant_selected{isa=}``;
+scalar is the guaranteed floor (and the only candidate under
+``REPRO_CC_CAPS=scalar``, so degraded builds skip the race entirely).
 """
 
 from __future__ import annotations
 
 import ctypes
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,8 +35,9 @@ import numpy as np
 from ...errors import KernelError
 from ...formats.base import IndexWidth
 from ...observe import metrics as _metrics
-from .build import CBackendUnavailable, build_variant
-from .codegen import Variant
+from .build import CBackendUnavailable, build_variant, \
+    compiler_capabilities
+from .codegen import ISA_PREFERENCE, Variant
 
 #: Probe-validation tolerance (matches the test-suite parity bound).
 VALIDATION_RTOL = 1e-12
@@ -33,6 +45,8 @@ VALIDATION_RTOL = 1e-12
 _lock = threading.Lock()
 _loaded: dict[Variant, "CKernel"] = {}
 _broken: dict[Variant, str] = {}
+#: (fmt, r, c, width) -> best-ISA kernel resolved for this process.
+_best: dict[tuple, "CKernel"] = {}
 
 _I64 = ctypes.c_int64
 _PTR = ctypes.c_void_p
@@ -44,7 +58,7 @@ class CKernel:
 
     variant: Variant
     spmv: object                 #: ctypes function (format-specific)
-    spmm: object | None          #: fused multi-vector entry (csr only)
+    spmm: object | None          #: fused multi-vector entry (csr/sellcs)
     path: str                    #: shared object on disk
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -60,6 +74,15 @@ def _bind(variant: Variant, path: str) -> CKernel:
         spmm = lib.repro_spmm
         spmm.restype = None
         spmm.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _I64, _I64, _I64]
+    elif variant.fmt == "sellcs":
+        # The permutation round-trip runs inside the kernel: +perm
+        # pointer, un-permuted y, and the real row count.
+        spmv.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _PTR,
+                         _I64, _I64, _I64]
+        spmm = lib.repro_spmm
+        spmm.restype = None
+        spmm.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _PTR,
+                         _I64, _I64, _I64, _I64]
     elif variant.fmt == "bcsr":
         spmv.argtypes = [_PTR, _PTR, _PTR, _PTR, _PTR, _I64, _I64]
         spmm = None
@@ -86,17 +109,23 @@ def _probe_matrix(variant: Variant, seed: int):
 def _validate(variant: Variant, kernel: CKernel) -> None:
     """Compare the compiled kernel with the trusted reference."""
     from ...formats.convert import coo_to_csr, to_bcoo, to_bcsr
+    from ...formats.sellcs import to_sellcs
     from ..reference import spmv_reference
     from .dispatch import _spmv_c_format
 
     seed = abs(hash((variant.fmt, variant.r, variant.c,
-                     int(variant.index_width)))) % (2 ** 31)
+                     int(variant.index_width), variant.isa))) % (2 ** 31)
     coo = _probe_matrix(variant, seed)
     if variant.fmt == "csr":
         mat = coo_to_csr(coo, index_width=variant.index_width)
     elif variant.fmt == "bcsr":
         mat = to_bcsr(coo, variant.r, variant.c,
                       index_width=variant.index_width)
+    elif variant.fmt == "sellcs":
+        # σ = nrows: full sort, so the probe exercises a non-trivial
+        # permutation round-trip through the scatter.
+        mat = to_sellcs(coo, chunk=variant.r, sigma=coo.nrows,
+                        index_width=variant.index_width)
     else:
         mat = to_bcoo(coo, variant.r, variant.c,
                       index_width=variant.index_width)
@@ -114,15 +143,15 @@ def _validate(variant: Variant, kernel: CKernel) -> None:
         )
 
 
-def get_c_kernel(fmt: str, r: int, c: int,
-                 index_width: IndexWidth) -> CKernel:
+def get_c_kernel(fmt: str, r: int, c: int, index_width: IndexWidth,
+                 isa: str = "scalar") -> CKernel:
     """Compile/load/validate (all cached) the kernel for one variant.
 
     Raises :class:`CBackendUnavailable` when no compiler is present,
     :class:`KernelError` when the build or validation fails (the
     variant is then blacklisted for the process).
     """
-    variant = Variant(fmt, int(r), int(c), IndexWidth(index_width))
+    variant = Variant(fmt, int(r), int(c), IndexWidth(index_width), isa)
     hit = _loaded.get(variant)
     if hit is not None:
         return hit
@@ -147,6 +176,102 @@ def get_c_kernel(fmt: str, r: int, c: int,
         return kernel
 
 
+#: Timed-race probe: big enough that the gather pattern leaves cache
+#: and the per-row overhead shows, small enough to keep first-call
+#: latency in the low milliseconds.
+_RACE_ROWS = 20_000
+_RACE_NNZ = 160_000
+_RACE_REPS = 5
+
+
+def _race_matrix(fmt: str, r: int, c: int, index_width: IndexWidth):
+    """Deterministic mid-size matrix in the candidate's own format."""
+    from ...formats.convert import coo_to_csr, to_bcoo, to_bcsr
+    from ...formats.coo import COOMatrix
+    from ...formats.sellcs import to_sellcs
+
+    rng = np.random.default_rng(0x5EED)
+    m = n = _RACE_ROWS                 # fits 16-bit indices
+    coo = COOMatrix(
+        (m, n), rng.integers(0, m, _RACE_NNZ),
+        rng.integers(0, n, _RACE_NNZ),
+        rng.standard_normal(_RACE_NNZ),
+    )
+    if fmt == "csr":
+        return coo_to_csr(coo, index_width=index_width)
+    if fmt == "sellcs":
+        return to_sellcs(coo, chunk=r, index_width=index_width)
+    if fmt == "bcsr":
+        return to_bcsr(coo, r, c, index_width=index_width)
+    return to_bcoo(coo, r, c, index_width=index_width)
+
+
+def _race(candidates: list[CKernel], fmt: str, r: int, c: int,
+          index_width: IndexWidth) -> CKernel:
+    """Fastest candidate on the probe matrix (best-of-N timing)."""
+    from .dispatch import _spmv_c_format
+
+    mat = _race_matrix(fmt, r, c, index_width)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(mat.ncols)
+    y = np.zeros(mat.nrows)
+    best_kernel, best_t = candidates[0], float("inf")
+    for kernel in candidates:
+        _spmv_c_format(mat, x, y, kernel)          # warm code + data
+        t = float("inf")
+        for _ in range(_RACE_REPS):
+            t0 = time.perf_counter()
+            _spmv_c_format(mat, x, y, kernel)
+            t = min(t, time.perf_counter() - t0)
+        _metrics.gauge("c_backend.race_seconds", t,
+                       variant=kernel.variant.name)
+        if t < best_t:
+            best_kernel, best_t = kernel, t
+    return best_kernel
+
+
+def get_best_c_kernel(fmt: str, r: int, c: int,
+                      index_width: IndexWidth) -> CKernel:
+    """Fastest validated kernel this host supports for a variant.
+
+    Builds every ISA rung in
+    :data:`~repro.kernels.cbackend.codegen.ISA_PREFERENCE` the
+    compiler's probed capabilities allow (skipping rungs whose build or
+    validation failed — scalar is the guaranteed floor), then times the
+    survivors head-to-head on a deterministic probe matrix and keeps
+    the winner. Selection is cached per (fmt, tile, width) and
+    announced once under ``kernels.variant_selected{isa=}``; per-rung
+    race times land on ``c_backend.race_seconds{variant=}``.
+    """
+    key = (fmt, int(r), int(c), int(IndexWidth(index_width)))
+    hit = _best.get(key)
+    if hit is not None:
+        return hit
+    caps = compiler_capabilities()
+    last_exc: KernelError | None = None
+    candidates: list[CKernel] = []
+    for isa in ISA_PREFERENCE.get(fmt, ("scalar",)):
+        if isa != "scalar" and isa not in caps:
+            continue
+        try:
+            candidates.append(get_c_kernel(fmt, r, c, index_width,
+                                           isa=isa))
+        except CBackendUnavailable:
+            raise
+        except KernelError as exc:
+            last_exc = exc
+    if not candidates:
+        raise last_exc or KernelError(
+            f"no buildable ISA level for {fmt} {r}x{c}"
+        )
+    kernel = candidates[0] if len(candidates) == 1 \
+        else _race(candidates, fmt, r, c, index_width)
+    with _lock:
+        _best[key] = kernel
+    _metrics.inc("kernels.variant_selected", isa=kernel.variant.isa)
+    return kernel
+
+
 def loaded_variants() -> list[Variant]:
     """Variants validated and dispatchable in this process."""
     with _lock:
@@ -160,4 +285,7 @@ def reset_for_tests() -> None:
     with _lock:
         _loaded.clear()
         _broken.clear()
+        _best.clear()
         build._compiler_cache.clear()
+        build._caps_cache.clear()
+        build._native_cache.clear()

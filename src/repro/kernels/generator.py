@@ -1,12 +1,17 @@
-"""Kernel generator: emits specialized SpMV kernels as Python source.
+"""Kernel generator: emits specialized *scalar* SpMV kernels in Python.
 
 For each (format, r, c) register-block variant the generator writes a
 kernel whose tile arithmetic is *fully unrolled* — ``r·c`` explicit
 multiply-accumulate lines over strided views instead of a generic
-``einsum`` — mirroring how the paper's Perl generator emitted unrolled,
-SIMDized C for every block size. Unrolling is a real optimization at
-the NumPy level too: it avoids einsum's reduction machinery for the
-tiny fixed tile sizes SpMV uses.
+``einsum``. This is the NumPy analogue of the paper's Perl generator:
+the structure (one specialized kernel per block size) is the same, but
+nothing here is SIMDized — the emitted source is plain scalar NumPy
+expressions, and vectorization is whatever NumPy's own ufunc loops
+provide. The actually vectorized kernels (``#pragma omp simd``,
+software prefetch) live in :mod:`repro.kernels.cbackend.codegen`, which
+emits C behind compiler-capability probes. Unrolling is still a real
+optimization at the NumPy level: it avoids einsum's reduction
+machinery for the tiny fixed tile sizes SpMV uses.
 
 Generated source is ``exec``-compiled once and cached; call
 :func:`generate_kernel_source` to inspect what would run.

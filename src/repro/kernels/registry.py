@@ -117,6 +117,7 @@ def spmv_backend(matrix, x, y=None, *, backend: str = "numpy"):
     fallback paths all report achieved GFLOP/s without their own
     instrumentation.
     """
+    from ..observe import metrics as _metrics
     from ..observe.perf.attribution import observe_kernel
 
     resolved = resolve_backend(backend)
@@ -126,6 +127,9 @@ def spmv_backend(matrix, x, y=None, *, backend: str = "numpy"):
 
         out = spmv_c(matrix, x, y)
     else:
+        # The compiled path announces its ISA pick once per variant in
+        # get_best_c_kernel; the NumPy substrate is its own "ISA".
+        _metrics.inc("kernels.variant_selected", isa="numpy")
         out = matrix.spmv(x, y)
     observe_kernel(matrix, time.perf_counter() - t0, backend=resolved)
     return out
@@ -135,6 +139,7 @@ def spmm_backend(matrix, x, y=None, *, backend: str = "numpy"):
     """``Y ← Y + A·X`` on the selected backend (roofline-attributed,
     like :func:`spmv_backend`)."""
     from ..formats.multivector import spmm
+    from ..observe import metrics as _metrics
     from ..observe.perf.attribution import observe_kernel
 
     resolved = resolve_backend(backend)
@@ -145,6 +150,7 @@ def spmm_backend(matrix, x, y=None, *, backend: str = "numpy"):
 
         out = spmm_c(matrix, x, y)
     else:
+        _metrics.inc("kernels.variant_selected", isa="numpy")
         out = spmm(matrix, x, y)
     observe_kernel(matrix, time.perf_counter() - t0, k=k,
                    backend=resolved)

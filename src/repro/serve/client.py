@@ -111,6 +111,8 @@ class ServeClient:
         retune_predicted: bool = True,
         perf_watch: "bool | MachineCeilings" = False,
         profile_dir: str | os.PathLike | None = None,
+        online_tune: bool = False,
+        online_hot_threshold: int = 32,
     ):
         if isinstance(machine, str):
             machine = get_machine(machine)
@@ -213,6 +215,19 @@ class ServeClient:
             flush_deadline_s=flush_deadline_s, max_queue=max_queue,
             slo=self.slo, watchdog=self.watchdog,
         )
+        # Online autotuning: once a matrix has served enough batches,
+        # a background hill-climb re-times its backend / thread count
+        # from live traffic and promotes measured wins (no sweep at
+        # registration needed).
+        self.online_tuner = None
+        if online_tune:
+            from ..autoplan.online import OnlineTuner
+
+            self.online_tuner = OnlineTuner(
+                self.registry, self.scheduler, self.watchdog,
+                hot_threshold=online_hot_threshold,
+            )
+            self.scheduler.online_tuner = self.online_tuner
         self._closed = False
 
     # ----------------------------------------------------- registration

@@ -63,6 +63,9 @@ class RegistryEntry:
     #: Sweep-candidate label behind the plan ("" for heuristic/cached).
     autoplan_label: str = field(default="")
     autoplan_confidence: float = field(default=0.0)
+    #: Execution thread count promoted by the online tuner; 1 means the
+    #: scheduler runs batches in-process, single-threaded, as before.
+    exec_threads: int = field(default=1)
 
     @property
     def nrows(self) -> int:
@@ -71,6 +74,29 @@ class RegistryEntry:
     @property
     def ncols(self) -> int:
         return self.shape[1]
+
+    def csr_view(self):
+        """The materialized structure as one full-extent CSR matrix,
+        or ``None`` when the plan produced anything else.
+
+        This is the precondition for the threaded execution path (and
+        the online tuner's thread axis): ``threaded_spmv`` computes the
+        whole ``y = A·x``, so the view must cover the full shape.
+        """
+        from ..formats.blocked import CacheBlockedMatrix
+        from ..formats.csr import CSRMatrix
+
+        mat = self.matrix
+        if isinstance(mat, CSRMatrix):
+            return mat
+        if isinstance(mat, CacheBlockedMatrix) and len(mat.blocks) == 1:
+            blk = mat.blocks[0]
+            if (isinstance(blk.matrix, CSRMatrix)
+                    and blk.r0 == 0 and blk.c0 == 0
+                    and blk.r1 == self.shape[0]
+                    and blk.c1 == self.shape[1]):
+                return blk.matrix
+        return None
 
     def describe(self) -> dict:
         return {
@@ -87,6 +113,7 @@ class RegistryEntry:
             "predicted": self.predicted,
             "autoplan_label": self.autoplan_label,
             "autoplan_confidence": self.autoplan_confidence,
+            "exec_threads": self.exec_threads,
         }
 
 

@@ -93,6 +93,9 @@ class BatchScheduler:
         self.max_queue = max_queue
         self.slo = slo
         self.watchdog = watchdog
+        #: Optional :class:`~repro.autoplan.online.OnlineTuner` attached
+        #: by the serve client; fed one call per executed batch.
+        self.online_tuner = None
         self._cv = threading.Condition()
         self._groups: dict[str, _Group] = {}
         self._n_queued = 0
@@ -210,12 +213,10 @@ class BatchScheduler:
                         gather_s = time.perf_counter() - t_g
                     _metrics.inc("serve.sharded_batches")
                 elif k == 1:
-                    ys = [spmv_backend(entry.matrix, requests[0].x,
-                                       backend=backend)]
+                    ys = [self._run_one(entry, requests[0].x, backend)]
                 else:
                     x_block = np.stack([r.x for r in requests], axis=1)
-                    y_block = spmm_backend(entry.matrix, x_block,
-                                           backend=backend)
+                    y_block = self._run_block(entry, x_block, backend)
                     t_g = time.perf_counter()
                     ys = [np.ascontiguousarray(y_block[:, j])
                           for j in range(k)]
@@ -230,6 +231,11 @@ class BatchScheduler:
             compute_s = max(t_done - t_exec - gather_s, 0.0)
             if self.watchdog is not None:
                 self._feed_watchdog(entry, backend, k, compute_s)
+            if self.online_tuner is not None and not sharded:
+                try:
+                    self.online_tuner.note_batch(entry)
+                except Exception:  # noqa: BLE001 - tuning is best effort
+                    pass
             for req, y in zip(requests, ys):
                 req.future.set_result(y)
             if self.slo is not None:
@@ -255,6 +261,32 @@ class BatchScheduler:
             with self._cv:
                 self._n_inflight -= 1
                 self._cv.notify_all()
+
+    def _run_one(self, entry, x: np.ndarray, backend: str) -> np.ndarray:
+        """One in-process SpMV, honoring an online-tuner thread
+        promotion when the entry materialized to a plain CSR view."""
+        nt = getattr(entry, "exec_threads", 1)
+        if nt > 1:
+            csr = entry.csr_view()
+            if csr is not None:
+                from ..parallel.threaded import threaded_spmv
+
+                _metrics.inc("serve.threaded_batches")
+                return threaded_spmv(csr, x, n_threads=nt)
+        return spmv_backend(entry.matrix, x, backend=backend)
+
+    def _run_block(self, entry, x_block: np.ndarray,
+                   backend: str) -> np.ndarray:
+        """One in-process SpMM batch; see :meth:`_run_one`."""
+        nt = getattr(entry, "exec_threads", 1)
+        if nt > 1:
+            csr = entry.csr_view()
+            if csr is not None:
+                from ..parallel.threaded import threaded_spmm
+
+                _metrics.inc("serve.threaded_batches")
+                return threaded_spmm(csr, x_block, n_threads=nt)
+        return spmm_backend(entry.matrix, x_block, backend=backend)
 
     def _feed_watchdog(self, entry, backend: str, k: int,
                        compute_s: float) -> None:

@@ -98,11 +98,14 @@ class TestPredictPath:
         tuned = run_sweep(engine, coo, n_threads=2, iters=3)
 
         def best_time(plan) -> float:
+            # Best-of-25: at the ~100µs scale of this matrix a small
+            # rep count leaves enough scheduler noise in the minimum
+            # to blow the 15% margin on loaded CI hosts.
             matrix = plan.materialize(coo)
             x = np.random.default_rng(0).standard_normal(coo.ncols)
             spmv_backend(matrix, x)     # warm
             best = float("inf")
-            for _ in range(7):
+            for _ in range(25):
                 t0 = time.perf_counter()
                 spmv_backend(matrix, x)
                 best = min(best, time.perf_counter() - t0)

@@ -1,0 +1,152 @@
+"""Unit tests for the SELL-C-σ format (sliced ELL with σ-window sort).
+
+The correctness bar is strict: the numpy reference accumulates each
+row's elements in column order, seeded from the gathered destination,
+so ``spmv`` must be *bit-identical* to the per-entry CSR reference
+under the permutation round-trip — not merely allclose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexWidthError, MatrixFormatError
+from repro.formats import COOMatrix, IndexWidth, SellCSMatrix, to_sellcs
+from repro.formats.sellcs import normalize_sigma, sellcs_stats
+from repro.kernels.reference import spmv_reference
+
+
+def _random_coo(rng, m, n, nnz):
+    return COOMatrix(
+        (m, n),
+        rng.integers(0, max(m, 1), nnz),
+        rng.integers(0, max(n, 1), nnz),
+        rng.standard_normal(nnz),
+    )
+
+
+class TestConstruction:
+    def test_roundtrip_dense(self, rng):
+        coo = _random_coo(rng, 37, 23, 150)
+        s = to_sellcs(coo, chunk=8, sigma=16)
+        np.testing.assert_array_equal(s.toarray(), coo.toarray())
+
+    def test_rows_padded_to_chunk(self, rng):
+        coo = _random_coo(rng, 13, 13, 60)
+        s = to_sellcs(coo, chunk=8)
+        assert s.n_slices == 2                  # ceil(13 / 8)
+        assert s.slice_ptr[-1] == s.cols.size
+        assert s.nnz_logical == coo.nnz_logical
+        assert s.nnz_stored >= s.nnz_logical
+
+    def test_sigma_window_reduces_fill(self, rng):
+        # One long row per 64-row window: a full-matrix sort packs the
+        # long rows together, windowed sorting cannot — so the global
+        # sort (sigma >= m) never stores more than the windowed one.
+        rows = []
+        for w in range(4):
+            rows.extend([w * 64] * 50)
+            rows.extend(range(w * 64, (w + 1) * 64))
+        rows = np.array(rows)
+        cols = np.arange(rows.size) % 256
+        coo = COOMatrix((256, 256), rows, cols,
+                        np.ones(rows.size), dedupe=True)
+        _, stored_global = sellcs_stats(np.bincount(coo.row,
+                                                    minlength=256),
+                                        chunk=8, sigma=256)
+        _, stored_window = sellcs_stats(np.bincount(coo.row,
+                                                    minlength=256),
+                                        chunk=8, sigma=8)
+        assert stored_global <= stored_window
+
+    def test_normalize_sigma(self):
+        assert normalize_sigma(8, None) == 128       # chunk * 16
+        assert normalize_sigma(8, 20) == 16          # floor to multiple
+        assert normalize_sigma(8, 3) == 8            # at least one chunk
+        assert normalize_sigma(4, 1000) == 1000
+
+    def test_invalid_chunk_refused(self, rng):
+        coo = _random_coo(rng, 8, 8, 10)
+        with pytest.raises(MatrixFormatError):
+            to_sellcs(coo, chunk=0)
+
+
+class TestEdgeCases:
+    def test_empty_matrix(self):
+        s = to_sellcs(COOMatrix.empty((0, 0)))
+        assert s.n_slices == 0 and s.nnz_stored == 0
+        assert s.spmv(np.zeros(0), np.zeros(0)).shape == (0,)
+
+    def test_all_empty_rows(self):
+        # Nonzero shape, zero entries: every slice is width 0.
+        s = to_sellcs(COOMatrix.empty((20, 10)), chunk=8)
+        assert s.nnz_stored == 0
+        y = s.spmv(np.ones(10), np.full(20, 3.0))
+        np.testing.assert_array_equal(y, np.full(20, 3.0))
+
+    def test_single_row(self, rng):
+        coo = _random_coo(rng, 1, 40, 25)
+        s = to_sellcs(coo, chunk=8)
+        assert s.n_slices == 1
+        x = rng.standard_normal(40)
+        ref = spmv_reference(coo, x, np.zeros(1))
+        np.testing.assert_array_equal(s.spmv(x, np.zeros(1)), ref)
+
+    def test_sigma_larger_than_m(self, rng):
+        coo = _random_coo(rng, 10, 10, 30)
+        s = to_sellcs(coo, chunk=4, sigma=10_000)
+        x = rng.standard_normal(10)
+        ref = spmv_reference(coo, x, np.zeros(10))
+        np.testing.assert_array_equal(s.spmv(x, np.zeros(10)), ref)
+
+    def test_i16_overflow_refused(self):
+        coo = COOMatrix((2, 70_000), [0, 1], [0, 69_999], [1.0, 2.0])
+        with pytest.raises(IndexWidthError):
+            to_sellcs(coo, index_width=IndexWidth.I16)
+        # Auto width picks I32 for the same matrix.
+        assert to_sellcs(coo).index_width == IndexWidth.I32
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("chunk,sigma", [(4, 4), (8, 16), (8, None),
+                                             (16, 64)])
+    def test_permutation_round_trip_bit_identical(self, rng, chunk,
+                                                  sigma):
+        # Highly skewed row lengths force a non-trivial permutation.
+        m, n = 97, 61
+        counts = rng.integers(0, 20, m) ** 2 // 20
+        rows = np.repeat(np.arange(m), counts)
+        cols = rng.integers(0, n, rows.size)
+        coo = COOMatrix((m, n), rows, cols,
+                        rng.standard_normal(rows.size), dedupe=True)
+        s = to_sellcs(coo, chunk=chunk, sigma=sigma)
+        assert not np.array_equal(s.perm, np.arange(m)) or m < 2
+        x = rng.standard_normal(n)
+        y0 = rng.standard_normal(m)        # nonzero initial destination
+        ref = spmv_reference(coo, x, y0.copy())
+        got = s.spmv(x, y0.copy())
+        assert np.array_equal(got, ref)    # bit-identical, not allclose
+
+    def test_spmm_matches_columnwise_spmv(self, rng):
+        from repro.formats.multivector import spmm
+
+        coo = _random_coo(rng, 50, 30, 200)
+        s = to_sellcs(coo, chunk=8, sigma=16)
+        x = rng.standard_normal((30, 4))
+        y = spmm(s, x, np.zeros((50, 4)))
+        for j in range(4):
+            ref = s.spmv(x[:, j], np.zeros(50))
+            np.testing.assert_array_equal(y[:, j], ref)
+
+
+class TestFootprint:
+    def test_footprint_matches_estimate(self, rng):
+        coo = _random_coo(rng, 64, 64, 400)
+        s = to_sellcs(coo, chunk=8, sigma=32)
+        counts = np.bincount(coo.row, minlength=64)
+        n_slices, stored = sellcs_stats(counts, chunk=8, sigma=32)
+        est = SellCSMatrix.estimate_footprint(
+            stored, n_slices, 64, s.index_width,
+        )
+        assert s.footprint_bytes() == est
